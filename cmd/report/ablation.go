@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+
+	"lppart/internal/apps"
+	"lppart/internal/cache"
+	"lppart/internal/system"
+	"lppart/internal/tech"
+)
+
+// runAblation executes one of the DESIGN.md ablation studies (A1–A6).
+func runAblation(kind string, list []apps.App) error {
+	switch kind {
+	case "F":
+		// A1: objective-function factor sweep.
+		fmt.Println("A1: objective factor F sweep (savings% / time% / chosen)")
+		for _, f := range []float64{0.25, 0.5, 1.0, 2.0, 4.0} {
+			fmt.Printf("F = %.2f\n", f)
+			for _, a := range list {
+				cfg := system.Config{}
+				cfg.Part.F = f
+				if err := printOne(a, cfg); err != nil {
+					return err
+				}
+			}
+		}
+	case "preselect":
+		// A2: pre-selection budget N_max^c sweep.
+		fmt.Println("A2: pre-selection budget N_max^c sweep")
+		for _, n := range []int{1, 2, 3, 5, 10} {
+			fmt.Printf("N_max^c = %d\n", n)
+			for _, a := range list {
+				cfg := system.Config{}
+				cfg.Part.MaxClusters = n
+				if err := printOne(a, cfg); err != nil {
+					return err
+				}
+			}
+		}
+	case "rs":
+		// A3: resource-set richness.
+		fmt.Println("A3: resource-set richness (1 vs 3 vs 5 designer sets)")
+		all := tech.DefaultResourceSets()
+		for _, n := range []int{1, 3, 5} {
+			fmt.Printf("sets = %d\n", n)
+			for _, a := range list {
+				cfg := system.Config{}
+				cfg.Part.ResourceSets = all[:n]
+				if err := printOne(a, cfg); err != nil {
+					return err
+				}
+			}
+		}
+	case "weighted":
+		// A4: size-weighted utilization rate.
+		fmt.Println("A4: size-weighted vs unweighted U_R (paper §3.4: partitions should not change)")
+		for _, w := range []bool{false, true} {
+			fmt.Printf("weighted = %v\n", w)
+			for _, a := range list {
+				cfg := system.Config{}
+				cfg.Part.WeightedU = w
+				if err := printOne(a, cfg); err != nil {
+					return err
+				}
+			}
+		}
+	case "gated":
+		// A5: gated-clock µP core.
+		fmt.Println("A5: gated-clock µP core (the §3.1 premise weakens)")
+		for _, gated := range []bool{false, true} {
+			fmt.Printf("gated clocks = %v\n", gated)
+			for _, a := range list {
+				cfg := system.Config{}
+				lib := tech.Default()
+				if gated {
+					m := lib.Micro.Gated(lib)
+					lib.Micro = m
+				}
+				cfg.Part.Lib = lib
+				if err := printOne(a, cfg); err != nil {
+					return err
+				}
+			}
+		}
+	case "cache":
+		// A6: cache geometry sensitivity.
+		fmt.Println("A6: cache geometry sensitivity of E_rest")
+		geoms := []struct {
+			name string
+			i, d cache.Config
+		}{
+			{"1KiB", cache.Config{Sets: 64, Assoc: 1, LineWords: 4},
+				cache.Config{Sets: 32, Assoc: 2, LineWords: 4, WriteBack: true}},
+			{"2KiB", cache.DefaultICache(), cache.DefaultDCache()},
+			{"8KiB", cache.Config{Sets: 512, Assoc: 1, LineWords: 4},
+				cache.Config{Sets: 256, Assoc: 2, LineWords: 4, WriteBack: true}},
+		}
+		for _, g := range geoms {
+			fmt.Printf("caches = %s\n", g.name)
+			for _, a := range list {
+				cfg := system.Config{ICache: g.i, DCache: g.d}
+				if err := printOne(a, cfg); err != nil {
+					return err
+				}
+			}
+		}
+	case "cores":
+		// E1 (extension): multiple ASIC cores per application.
+		fmt.Println("E1: multi-core partitioning (Eq. 3 with N cores, Fig. 3 synergy active)")
+		for _, n := range []int{1, 2, 3} {
+			fmt.Printf("max cores = %d\n", n)
+			for _, a := range list {
+				cfg := system.Config{}
+				cfg.Part.MaxCores = n
+				if err := printOne(a, cfg); err != nil {
+					return err
+				}
+			}
+		}
+	case "future":
+		// E2 (extension): the paper's future-work case — a
+		// control-dominated system, where the approach should find
+		// little to move.
+		fmt.Println("E2: control-dominated application (paper §5 future work)")
+		if err := printOne(apps.ControlDominated(), system.Config{}); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown ablation %q", kind)
+	}
+	return nil
+}
+
+func printOne(a apps.App, cfg system.Config) error {
+	ev, err := evaluate(a, cfg)
+	if err != nil {
+		return fmt.Errorf("%s: %w", a.Name, err)
+	}
+	chosen := "none"
+	geq := 0
+	if ev.Decision.Chosen != nil {
+		chosen = fmt.Sprintf("%s/%s", ev.Decision.Chosen.Region.Label, ev.Decision.Chosen.RS.Name)
+		if n := len(ev.Decision.Choices); n > 1 {
+			chosen += fmt.Sprintf(" (+%d more)", n-1)
+		}
+	}
+	if ev.Partitioned != nil {
+		geq = ev.Partitioned.GEQ // total over all cores
+	}
+	fmt.Printf("  %-7s savings %7.2f%%  time %7.2f%%  hw %5d  %s\n",
+		a.Name, ev.Savings(), ev.TimeChange(), geq, chosen)
+	return nil
+}

@@ -1,0 +1,94 @@
+// Command report regenerates the paper's experimental artifacts: Table 1
+// (per-core energy and execution time of initial vs. partitioned designs),
+// Figure 6 (savings / time-change chart), the hardware-overhead summary
+// and the ablation studies listed in DESIGN.md.
+//
+// Usage:
+//
+//	report -table1            # Table 1 for all six applications
+//	report -fig6              # Figure 6
+//	report -hw                # hardware overhead per application
+//	report -summary           # one-line summary per application
+//	report -app=digs -trail   # decision trail of one application
+//	report -ablation=F        # ablation A1: objective factor sweep
+//	report -ablation=preselect|rs|weighted|gated|cache
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lppart/internal/apps"
+	"lppart/internal/report"
+	"lppart/internal/system"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "render Table 1")
+		fig6     = flag.Bool("fig6", false, "render Figure 6")
+		hw       = flag.Bool("hw", false, "render hardware overhead")
+		summary  = flag.Bool("summary", false, "render one-line summary")
+		trail    = flag.Bool("trail", false, "print the partitioning decision trail")
+		appName  = flag.String("app", "", "restrict to one application")
+		ablation = flag.String("ablation", "", "run an ablation: F, preselect, rs, weighted, gated, cache")
+	)
+	flag.Parse()
+	if !*table1 && !*fig6 && !*hw && !*summary && !*trail && *ablation == "" {
+		*table1 = true
+		*fig6 = true
+		*hw = true
+	}
+
+	list := apps.All()
+	if *appName != "" {
+		a, err := apps.ByName(*appName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		list = []apps.App{a}
+	}
+
+	if *ablation != "" {
+		if err := runAblation(*ablation, list); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	evals := make([]*system.Evaluation, 0, len(list))
+	for _, a := range list {
+		ev, err := evaluate(a, system.Config{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", a.Name, err)
+			os.Exit(1)
+		}
+		evals = append(evals, ev)
+		if *trail {
+			fmt.Printf("== %s decision trail ==\n%s\n", a.Name, ev.Decision.Trail())
+		}
+	}
+	if *table1 {
+		fmt.Println(report.Table1(evals))
+	}
+	if *fig6 {
+		fmt.Println(report.Fig6(evals))
+	}
+	if *hw {
+		fmt.Println(report.Hardware(evals))
+	}
+	if *summary {
+		fmt.Println(report.Summary(evals))
+	}
+}
+
+func evaluate(a apps.App, cfg system.Config) (*system.Evaluation, error) {
+	src, err := a.Parse()
+	if err != nil {
+		return nil, err
+	}
+	return system.Evaluate(src, cfg)
+}

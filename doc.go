@@ -1,0 +1,26 @@
+// Package lppart is a from-scratch Go reproduction of
+//
+//	J. Henkel, "A Low Power Hardware/Software Partitioning Approach for
+//	Core-based Embedded Systems", DAC 1999.
+//
+// The repository implements the paper's partitioning algorithms (Figs. 1,
+// 3 and 4) together with every substrate its experiments depend on: a
+// behavioral description language, a CDFG with a structural cluster tree,
+// gen/use dataflow analysis, a resource-constrained list scheduler, a
+// SPARCLite-class RISC compiler and instruction-level energy simulator,
+// set-associative cache cores with analytical energy models, main-memory
+// and bus cores, and ASIC core synthesis (binding, gate-equivalent
+// accounting, switching-activity energy replay) — plus the six benchmark
+// applications of Table 1 rebuilt in the behavioral DSL.
+//
+// Entry points:
+//
+//   - cmd/report regenerates Table 1, Figure 6 and the ablations;
+//   - cmd/lppart partitions one application and prints the decision trail;
+//   - cmd/appsim measures an all-software design;
+//   - examples/ contains four runnable walkthroughs;
+//   - bench_test.go regenerates every experiment as a Go benchmark.
+//
+// See DESIGN.md for the system inventory and the experiment index, and
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+package lppart

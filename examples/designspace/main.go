@@ -1,0 +1,74 @@
+// designspace demonstrates the designer-interaction loop of the paper's
+// §3.5 ("the designer does have manifold possibilities of interaction"):
+// sweeping the objective-function factor F, the pre-selection budget
+// N_max^c and the number of designer resource sets, and watching how the
+// chosen partition moves.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lppart/internal/apps"
+	"lppart/internal/system"
+	"lppart/internal/tech"
+)
+
+func evaluate(appName string, mutate func(*system.Config)) *system.Evaluation {
+	app, err := apps.ByName(appName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := app.Parse()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := system.Config{}
+	mutate(&cfg)
+	ev, err := system.Evaluate(src, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ev
+}
+
+func line(label string, ev *system.Evaluation) {
+	if ev.Partitioned == nil {
+		fmt.Printf("  %-22s -> no partition\n", label)
+		return
+	}
+	fmt.Printf("  %-22s -> %s on %s: savings %7.2f%%, time %7.2f%%, %d cells\n",
+		label, ev.Decision.Chosen.Region.Label, ev.Decision.Chosen.RS.Name,
+		ev.Savings(), ev.TimeChange(), ev.Partitioned.GEQ)
+}
+
+func main() {
+	fmt.Println("== designer interaction: objective factor F (engine) ==")
+	fmt.Println("   (F balances energy against hardware/time constraints, Fig. 1 line 13)")
+	for _, f := range []float64{0.25, 0.5, 1, 2, 4} {
+		ev := evaluate("engine", func(c *system.Config) { c.Part.F = f })
+		line(fmt.Sprintf("F = %.2f", f), ev)
+	}
+
+	fmt.Println("\n== designer interaction: pre-selection budget N_max^c (MPG) ==")
+	fmt.Println("   (fewer pre-selected clusters mean less synthesis effort, Fig. 1 line 5)")
+	for _, n := range []int{1, 2, 5, 10} {
+		ev := evaluate("MPG", func(c *system.Config) { c.Part.MaxClusters = n })
+		line(fmt.Sprintf("N_max^c = %d", n), ev)
+	}
+
+	fmt.Println("\n== designer interaction: resource-set richness (digs) ==")
+	fmt.Println("   (the paper's designers supply 3-5 hardware budgets, Fig. 1 line 7)")
+	all := tech.DefaultResourceSets()
+	for _, n := range []int{1, 2, 3, 5} {
+		sets := all[:n]
+		ev := evaluate("digs", func(c *system.Config) { c.Part.ResourceSets = sets })
+		line(fmt.Sprintf("%d set(s)", n), ev)
+	}
+
+	fmt.Println("\n== designer interaction: hardware budget (trick) ==")
+	for _, geq := range []int{4000, 10000, 16000, 32000} {
+		ev := evaluate("trick", func(c *system.Config) { c.Part.GEQBudget = geq })
+		line(fmt.Sprintf("budget %d cells", geq), ev)
+	}
+}

@@ -1,0 +1,3 @@
+module lppart
+
+go 1.22

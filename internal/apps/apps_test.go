@@ -1,0 +1,134 @@
+package apps
+
+import (
+	"testing"
+
+	"lppart/internal/cdfg"
+	"lppart/internal/interp"
+)
+
+func TestAllParseAndBuild(t *testing.T) {
+	apps := All()
+	if len(apps) != 6 {
+		t.Fatalf("want the paper's 6 applications, got %d", len(apps))
+	}
+	names := []string{"3d", "MPG", "ckey", "digs", "engine", "trick"}
+	for i, a := range apps {
+		if a.Name != names[i] {
+			t.Errorf("app %d is %q, want %q (Table 1 order)", i, a.Name, names[i])
+		}
+		if _, err := a.Build(); err != nil {
+			t.Errorf("%s does not build: %v", a.Name, err)
+		}
+		if a.PaperSavings >= 0 {
+			t.Errorf("%s: paper savings must be negative (a reduction)", a.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, err := ByName("digs")
+	if err != nil || a.Name != "digs" {
+		t.Errorf("ByName(digs) = %v, %v", a.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName must reject unknown applications")
+	}
+}
+
+// TestAppsExecute runs every application to completion on the reference
+// interpreter and sanity-checks its footprint.
+func TestAppsExecute(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			ir, err := a.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := interp.Run(ir, interp.Options{})
+			if err != nil {
+				t.Fatalf("%s traps: %v", a.Name, err)
+			}
+			if res.Steps < 10_000 {
+				t.Errorf("%s executes only %d ops — not a realistic workload", a.Name, res.Steps)
+			}
+			if res.Steps > 50_000_000 {
+				t.Errorf("%s executes %d ops — too large for the harness", a.Name, res.Steps)
+			}
+		})
+	}
+}
+
+// TestAppsDeterministic ensures repeated runs produce identical globals
+// (the in-program generators are seeded).
+func TestAppsDeterministic(t *testing.T) {
+	for _, a := range All() {
+		ir, err := a.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := interp.Run(ir, interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := interp.Run(ir, interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, vals := range r1.Globals {
+			for i, v := range vals {
+				if r2.Globals[name][i] != v {
+					t.Fatalf("%s: global %s[%d] differs between runs", a.Name, name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestAppsHaveEligibleClusters checks the structural precondition of the
+// whole experiment: every application has at least one loop region without
+// calls or returns (a partitionable cluster).
+func TestAppsHaveEligibleClusters(t *testing.T) {
+	for _, a := range All() {
+		ir, err := a.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eligible := 0
+		for _, r := range ir.Regions() {
+			if r.Kind == cdfg.RegionLoop && !r.HasCalls() && !r.HasReturns() {
+				eligible++
+			}
+		}
+		if eligible == 0 {
+			t.Errorf("%s has no partitionable loop cluster", a.Name)
+		}
+	}
+}
+
+// TestAppsProduceNonTrivialOutput guards against dead-code collapse: each
+// app must leave a nonzero result in at least one global.
+func TestAppsProduceNonTrivialOutput(t *testing.T) {
+	for _, a := range All() {
+		ir, err := a.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := interp.Run(ir, interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nonzero := false
+		for _, vals := range res.Globals {
+			for _, v := range vals {
+				if v != 0 {
+					nonzero = true
+				}
+			}
+		}
+		if !nonzero {
+			t.Errorf("%s: all globals are zero after the run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package apps
+
+// ControlDominated returns a seventh, non-Table-1 application: a
+// control-dominated protocol state machine. The paper's conclusion names
+// control-dominated systems as future work because the approach is
+// "tailored especially to computation and memory intensive applications" —
+// this workload demonstrates why: its clusters are branch-dominated with
+// tiny basic blocks, so no candidate reaches a high U_R on an ASIC
+// datapath and the energy win is marginal or absent.
+func ControlDominated() App {
+	return App{
+		Name:        "proto",
+		Description: "control-dominated protocol state machine (paper §5 future work)",
+		Source:      srcProto,
+		// No paper reference values: the paper defers this class.
+		PaperSavings:    0,
+		PaperTimeChange: 0,
+	}
+}
+
+const srcProto = `
+# proto: control-dominated protocol engine
+const NEV = 4000;
+var accepted; var rejected; var retries; var resets;
+var state; var crc;
+var evreg;
+
+# The event source: models reading the protocol engine's event register.
+# Real control-dominated systems take their events from the environment one
+# at a time, so the event loop cannot leave the uP core — exactly the
+# structural property that frustrates hardware/software partitioning.
+func nextevent(seed) {
+	seed = seed ^ (seed << 13);
+	seed = seed ^ (seed >> 17);
+	seed = seed ^ (seed << 5);
+	evreg = seed;
+	return seed;
+}
+
+func main() {
+	var i; var seed; var ev; var tmo;
+
+	state = 0; crc = 0;
+	seed = 5;
+	for i = 0; i < NEV; i = i + 1 {
+		seed = nextevent(seed);
+		ev = evreg & 7;
+		tmo = (evreg >> 3) & 1;
+
+		# A state machine with data-dependent branching everywhere:
+		# almost no straight-line computation for a datapath to chew on.
+		if state == 0 {
+			if ev == 1 { state = 1; } else {
+				if ev == 5 { state = 3; resets = resets + 1; }
+			}
+		} else {
+			if state == 1 {
+				if tmo { state = 0; retries = retries + 1; } else {
+					if ev == 2 { state = 2; } else {
+						if ev == 7 { state = 3; }
+					}
+				}
+			} else {
+				if state == 2 {
+					if ev == 3 { accepted = accepted + 1; state = 0; } else {
+						if ev == 4 { rejected = rejected + 1; state = 1; } else {
+							if tmo { state = 3; }
+						}
+					}
+				} else {
+					# error state: drain until a reset event
+					if ev == 0 { state = 0; resets = resets + 1; }
+				}
+			}
+		}
+		crc = (crc ^ (state + ev)) & 65535;
+	}
+}
+`

@@ -1,0 +1,51 @@
+package apps
+
+import (
+	"testing"
+
+	"lppart/internal/cdfg"
+	"lppart/internal/interp"
+)
+
+func TestControlDominatedBuildsAndRuns(t *testing.T) {
+	a := ControlDominated()
+	ir, err := a.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(ir, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps < 10_000 {
+		t.Errorf("proto runs only %d ops", res.Steps)
+	}
+	// The FSM must actually visit its states: all counters nonzero.
+	for _, name := range []string{"accepted", "rejected", "retries", "resets"} {
+		if res.Globals[name][0] == 0 {
+			t.Errorf("counter %s never incremented — FSM not exercised", name)
+		}
+	}
+}
+
+func TestControlDominatedEventLoopHasCall(t *testing.T) {
+	// The structural property the future-work experiment rests on: the
+	// event loop contains a call (the event source), so it can never be
+	// a cluster — only the tiny branch regions inside are candidates.
+	a := ControlDominated()
+	ir, err := a.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := ir.Func("main")
+	for _, r := range main.Root.AllRegions() {
+		if r.Label == "main" {
+			continue
+		}
+		if r.Depth() == 1 && r.Kind == cdfg.RegionLoop {
+			if !r.HasCalls() {
+				t.Error("the event loop must contain the event-source call")
+			}
+		}
+	}
+}

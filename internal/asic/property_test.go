@@ -1,0 +1,223 @@
+package asic
+
+import (
+	"testing"
+
+	"lppart/internal/behav"
+	"lppart/internal/bus"
+	"lppart/internal/cdfg"
+	"lppart/internal/codegen"
+	"lppart/internal/interp"
+	"lppart/internal/mem"
+	"lppart/internal/sched"
+	"lppart/internal/tech"
+)
+
+// buildCore synthesizes a core for the named app source's first eligible
+// top-level loop and returns it with a fresh shared memory.
+func buildCore(t *testing.T, src string, loopIdx int) (*Core, []int32) {
+	core, shared, _, _ := buildCoreLay(t, src, loopIdx)
+	return core, shared
+}
+
+// buildCoreLay is buildCore plus the layout and IR (for locating homes).
+func buildCoreLay(t *testing.T, src string, loopIdx int) (*Core, []int32, *codegen.Layout, *cdfg.Program) {
+	t.Helper()
+	prog := behav.MustParse("t", src)
+	ir := cdfg.MustBuild(prog)
+	profRes, err := interp.Run(ir, interp.Options{CollectProfile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loops []*cdfg.Region
+	for _, r := range ir.Regions() {
+		if r.Kind == cdfg.RegionLoop && r.Depth() == 1 {
+			loops = append(loops, r)
+		}
+	}
+	target := loops[loopIdx]
+	lib := tech.Default()
+	sets := tech.DefaultResourceSets()
+	rsched, err := sched.ScheduleRegion(sched.Config{Lib: lib, RS: &sets[2]}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binding, err := Bind(rsched, lib, func(bid int) int64 {
+		return profRes.Prof.BlockCount(target.Func, bid)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lay, err := codegen.Compile(ir, codegen.Options{MemWords: 1 << 14, StackWords: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := NewCore(0, ir, target, binding, lay, lib, bus.New(lib), mem.New(lib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core, make([]int32, 1<<14), lay, ir
+}
+
+const scaleSrc = `
+var a[64]; var out[64];
+func main() {
+	var i;
+	for i = 0; i < 64; i = i + 1 { a[i] = (i * 11) & 127; }
+	for i = 0; i < 64; i = i + 1 { out[i] = (a[i] * 5 + (a[i] >> 1)) & 1023; }
+}
+`
+
+// TestCoreAccountingAccumulates: repeated invocations accumulate energy,
+// cycles and transfer words linearly (idempotent per-invocation work).
+func TestCoreAccountingAccumulates(t *testing.T) {
+	core, shared := buildCore(t, scaleSrc, 1)
+	var prevE float64
+	var prevC int64
+	for k := 1; k <= 4; k++ {
+		if _, err := core.RunASIC(0, shared); err != nil {
+			t.Fatal(err)
+		}
+		if core.Invocations != int64(k) {
+			t.Fatalf("invocations = %d, want %d", core.Invocations, k)
+		}
+		if float64(core.Energy) <= prevE {
+			t.Error("energy must strictly accumulate")
+		}
+		if core.CyclesMuP <= prevC {
+			t.Error("cycles must strictly accumulate")
+		}
+		prevE, prevC = float64(core.Energy), core.CyclesMuP
+	}
+	// Identical invocations: per-invocation cycles are constant, so the
+	// total is 4x the first (energy differs slightly via toggle state).
+	if core.CyclesASIC%4 != 0 {
+		t.Errorf("4 identical invocations should divide cycles evenly, got %d", core.CyclesASIC)
+	}
+	if core.WordsIn != 4*core.WordsIn/4 || core.WordsIn == 0 {
+		t.Errorf("transfer words = %d", core.WordsIn)
+	}
+}
+
+// TestCoreEnergyScalesWithActivity: feeding high-toggle data (alternating
+// bit patterns) costs more replay energy than constant data.
+func TestCoreEnergyScalesWithActivity(t *testing.T) {
+	mkCore := func() (*Core, []int32) { return buildCore(t, scaleSrc, 1) }
+
+	// Constant input: after the first execution, operands never toggle.
+	constCore, constMem := mkCore()
+	for i := 0; i < 64; i++ {
+		constMem[8+i] = 42 // global array 'a' starts at word 8
+	}
+	if _, err := constCore.RunASIC(0, constMem); err != nil {
+		t.Fatal(err)
+	}
+
+	// Alternating input: operands flip many bits between iterations.
+	togCore, togMem := mkCore()
+	for i := 0; i < 64; i++ {
+		if i%2 == 0 {
+			togMem[8+i] = 0x5555555
+		} else {
+			togMem[8+i] = -0x5555556
+		}
+	}
+	if _, err := togCore.RunASIC(0, togMem); err != nil {
+		t.Fatal(err)
+	}
+
+	if togCore.Energy <= constCore.Energy {
+		t.Errorf("high-toggle run %v must cost more than constant run %v",
+			togCore.Energy, constCore.Energy)
+	}
+	// Cycles are data-independent for this kernel.
+	if togCore.CyclesASIC != constCore.CyclesASIC {
+		t.Errorf("cycles differ: %d vs %d", togCore.CyclesASIC, constCore.CyclesASIC)
+	}
+}
+
+// TestCoreClockGrowsWithHardware: the synthesized clock degrades with
+// netlist size (the wire-delay model behind trick's slowdown).
+func TestCoreClockGrowsWithHardware(t *testing.T) {
+	prog := behav.MustParse("t", scaleSrc)
+	ir := cdfg.MustBuild(prog)
+	profRes, err := interp.Run(ir, interp.Options{CollectProfile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loop *cdfg.Region
+	for _, r := range ir.Regions() {
+		if r.Kind == cdfg.RegionLoop && r.Depth() == 1 {
+			loop = r
+		}
+	}
+	lib := tech.Default()
+	sets := tech.DefaultResourceSets()
+	freq := func(bid int) int64 { return profRes.Prof.BlockCount(loop.Func, bid) }
+
+	sSmall, err := sched.ScheduleRegion(sched.Config{Lib: lib, RS: &sets[1]}, loop) // no mul set
+	if err == nil {
+		bSmall, err := Bind(sSmall, lib, freq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sStd, err := sched.ScheduleRegion(sched.Config{Lib: lib, RS: &sets[2]}, loop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bStd, err := Bind(sStd, lib, freq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bStd.GEQTotal() > bSmall.GEQTotal() && bStd.Clock <= bSmall.Clock {
+			t.Errorf("bigger core (%d GEQ, clock %v) must clock slower than smaller (%d GEQ, clock %v)",
+				bStd.GEQTotal(), bStd.Clock, bSmall.GEQTotal(), bSmall.Clock)
+		}
+	}
+}
+
+// TestCoreSharedMemoryRoundTrip: the upload phase publishes results and
+// the download phase observes external writes between invocations. Between
+// invocations the test plays the µP's role and resets the loop counter's
+// shared-memory home (in a real co-simulation the software's loop init
+// does this before each rendezvous).
+func TestCoreSharedMemoryRoundTrip(t *testing.T) {
+	core, shared, lay, ir := buildCoreLay(t, scaleSrc, 1)
+	var iHome int32 = -1
+	main := ir.Func("main")
+	for id, l := range main.Locals {
+		if l.Name == "i" {
+			addr, _, ok := lay.VarAddr(ir, "main", false, id)
+			if !ok {
+				t.Fatal("loop counter has no static home")
+			}
+			iHome = addr
+		}
+	}
+	if iHome < 0 {
+		t.Fatal("no loop counter found")
+	}
+	for i := int32(0); i < 64; i++ {
+		shared[8+i] = i // input array 'a'
+	}
+	shared[iHome] = 0
+	if _, err := core.RunASIC(0, shared); err != nil {
+		t.Fatal(err)
+	}
+	// out[i] = (a[i]*5 + a[i]>>1) & 1023; out is the second global.
+	outBase := int32(8 + 64)
+	want := (int32(10)*5 + 10>>1) & 1023
+	if shared[outBase+10] != want {
+		t.Errorf("out[10] = %d, want %d", shared[outBase+10], want)
+	}
+	// Mutate the input externally; the next invocation must see it.
+	shared[8+10] = 100
+	shared[iHome] = 0 // the µP's loop init before the rendezvous
+	if _, err := core.RunASIC(0, shared); err != nil {
+		t.Fatal(err)
+	}
+	want = (100*5 + 100>>1) & 1023
+	if shared[outBase+10] != want {
+		t.Errorf("after external write, out[10] = %d, want %d", shared[outBase+10], want)
+	}
+}

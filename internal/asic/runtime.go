@@ -1,0 +1,435 @@
+package asic
+
+import (
+	"fmt"
+	"math/bits"
+
+	"lppart/internal/behav"
+	"lppart/internal/bus"
+	"lppart/internal/cdfg"
+	"lppart/internal/codegen"
+	"lppart/internal/dataflow"
+	"lppart/internal/mem"
+	"lppart/internal/tech"
+	"lppart/internal/units"
+)
+
+// Core is a synthesized ASIC core ready for co-simulation: it plugs into
+// the ISS as the handler of the rendezvous instruction and executes the
+// cluster's semantics on the shared memory while accounting cycle- and
+// switching-accurate energy ("gate-level simulation tool with attached
+// switching energy calculation", paper §3.5).
+//
+// The invocation protocol is the paper's Fig. 2a / §3.3 transfer scheme:
+//
+//	a/b) the cluster's live-in set (use[c]) is downloaded from shared
+//	     memory over the bus into core-local registers and buffers,
+//	c/d)  after execution the live-out set (gen[c] ∩ use[C_succ]) is
+//	     deposited back for the µP to read.
+//
+// Everything the cluster touches is synchronized functionally so the
+// co-simulation stays exact, but only the live sets are *charged* as
+// transfers — matching Fig. 3's accounting.
+type Core struct {
+	ID      int
+	Region  *cdfg.Region
+	Binding *Binding
+
+	prog *cdfg.Program
+	lay  *codegen.Layout
+	lib  *tech.Library
+	bus  *bus.Bus
+	mem  *mem.Memory
+	// µP clock period, for converting ASIC cycles to system cycles.
+	microClock units.Time
+
+	liveIn, liveOut, genAll, touched []varSpan
+	exitBlock                        int
+
+	// Accounting.
+	Invocations int64
+	CyclesASIC  int64 // in ASIC clock cycles
+	CyclesMuP   int64 // as seen by the system (µP clock), incl. transfers
+	Energy      units.Energy
+	WordsIn     int64
+	WordsOut    int64
+
+	// Switching-activity state per op ID.
+	prevA, prevB map[int]int32
+
+	// MaxBlocksPerInvocation guards against runaway clusters.
+	MaxBlocks int64
+}
+
+type varSpan struct {
+	key   dataflow.Key
+	addr  int32 // shared-memory home
+	words int32
+	array bool
+}
+
+// NewCore synthesizes the runtime for a bound cluster. The bus and memory
+// cores receive the transfer accounting; lay locates every interface
+// variable in shared memory.
+func NewCore(id int, p *cdfg.Program, r *cdfg.Region, b *Binding, lay *codegen.Layout,
+	lib *tech.Library, bs *bus.Bus, m *mem.Memory) (*Core, error) {
+	c := &Core{
+		ID: id, Region: r, Binding: b,
+		prog: p, lay: lay, lib: lib, bus: bs, mem: m,
+		microClock: lib.Micro.ClockPeriod,
+		prevA:      make(map[int]int32),
+		prevB:      make(map[int]int32),
+		MaxBlocks:  200_000_000,
+	}
+	gen, use := dataflow.GenUse(p, r)
+	_, useSucc := dataflow.Surroundings(p, r)
+	liveOut := gen.Intersect(useSucc)
+
+	spansOf := func(s dataflow.Set) ([]varSpan, error) {
+		var spans []varSpan
+		for _, k := range s.Keys() {
+			sp, err := c.spanOf(k)
+			if err != nil {
+				return nil, err
+			}
+			spans = append(spans, sp)
+		}
+		return spans, nil
+	}
+	var err error
+	if c.liveIn, err = spansOf(use); err != nil {
+		return nil, err
+	}
+	if c.liveOut, err = spansOf(liveOut); err != nil {
+		return nil, err
+	}
+	if c.genAll, err = spansOf(gen); err != nil {
+		return nil, err
+	}
+	// Everything referenced, for functional synchronization.
+	all := dataflow.NewSet()
+	for k := range gen {
+		all.Add(k)
+	}
+	for k := range use {
+		all.Add(k)
+	}
+	if c.touched, err = spansOf(all); err != nil {
+		return nil, err
+	}
+	exit, err := findExit(r)
+	if err != nil {
+		return nil, err
+	}
+	c.exitBlock = exit
+	return c, nil
+}
+
+func (c *Core) spanOf(k dataflow.Key) (varSpan, error) {
+	var v cdfg.Var
+	if k.Global {
+		v = c.prog.Globals[k.ID]
+	} else {
+		v = c.Region.Func.Locals[k.ID]
+	}
+	addr, words, ok := c.lay.VarAddr(c.prog, c.Region.Func.Name, k.Global, k.ID)
+	if !ok {
+		return varSpan{}, fmt.Errorf("asic: variable %s of %s has no shared-memory home",
+			v.Name, c.Region.Func.Name)
+	}
+	return varSpan{key: k, addr: addr, words: words, array: v.IsArray()}, nil
+}
+
+// findExit locates the unique block outside the region reached from it.
+func findExit(r *cdfg.Region) (int, error) {
+	inside := make(map[int]bool, len(r.Blocks))
+	for _, bid := range r.Blocks {
+		inside[bid] = true
+	}
+	exit := -1
+	for _, bid := range r.Blocks {
+		for _, s := range r.Func.Block(bid).Succs() {
+			if !inside[s] {
+				if exit != -1 && exit != s {
+					return 0, fmt.Errorf("asic: region %s has multiple exits", r.Label)
+				}
+				exit = s
+			}
+		}
+	}
+	if exit == -1 {
+		return 0, fmt.Errorf("asic: region %s has no exit", r.Label)
+	}
+	return exit, nil
+}
+
+// state is the core's architectural state during one invocation.
+type state struct {
+	scalars map[dataflow.Key]int32
+	temps   map[int]int32 // function-local temporaries (datapath regs)
+	arrays  map[dataflow.Key][]int32
+}
+
+// RunASIC implements iss.ASICHandler: one cluster invocation on the shared
+// memory. It returns the µP-clock cycles the system waits.
+func (c *Core) RunASIC(id int32, shared []int32) (int64, error) {
+	if int(id) != c.ID {
+		return 0, fmt.Errorf("asic: core %d invoked as %d", c.ID, id)
+	}
+	c.Invocations++
+
+	st := &state{
+		scalars: make(map[dataflow.Key]int32),
+		temps:   make(map[int]int32),
+		arrays:  make(map[dataflow.Key][]int32),
+	}
+	// Download phase: functionally sync everything touched; charge the
+	// live-in set.
+	for _, sp := range c.touched {
+		if sp.array {
+			buf := make([]int32, sp.words)
+			copy(buf, shared[sp.addr:sp.addr+sp.words])
+			st.arrays[sp.key] = buf
+		} else {
+			st.scalars[sp.key] = shared[sp.addr]
+		}
+	}
+	var transferStall int64
+	inWords := 0
+	for _, sp := range c.liveIn {
+		inWords += int(sp.words)
+	}
+	c.WordsIn += int64(inWords)
+	c.bus.Read(inWords)
+	transferStall += int64(c.mem.Read(inWords))
+
+	// Execute the cluster on the datapath.
+	cycles, energy, err := c.execute(st)
+	if err != nil {
+		return 0, err
+	}
+	c.CyclesASIC += cycles
+	c.Energy += energy
+
+	// Upload phase: write back everything generated; charge the live-out
+	// set.
+	for _, sp := range c.genAll {
+		if sp.array {
+			copy(shared[sp.addr:sp.addr+sp.words], st.arrays[sp.key])
+		} else {
+			shared[sp.addr] = st.scalars[sp.key]
+		}
+	}
+	outWords := 0
+	for _, sp := range c.liveOut {
+		outWords += int(sp.words)
+	}
+	c.WordsOut += int64(outWords)
+	c.bus.Write(outWords)
+	transferStall += int64(c.mem.Write(outWords))
+
+	// Convert core cycles to system (µP) cycles.
+	mups := int64(float64(cycles)*float64(c.Binding.Clock)/float64(c.microClock)) + 1
+	total := mups + transferStall
+	c.CyclesMuP += total
+	return total, nil
+}
+
+func (c *Core) readOperand(st *state, o cdfg.Operand) (int32, error) {
+	if o.IsConst {
+		return o.K, nil
+	}
+	return c.readSlot(st, o.Ref)
+}
+
+func (c *Core) readSlot(st *state, r cdfg.VarRef) (int32, error) {
+	if !r.Global && c.Region.Func.Locals[r.ID].Temp {
+		return st.temps[r.ID], nil
+	}
+	k := dataflow.Key{Global: r.Global, ID: r.ID}
+	v, ok := st.scalars[k]
+	if !ok {
+		// Not in the touched set: must be dead-in; reads see zero.
+		return 0, nil
+	}
+	return v, nil
+}
+
+func (c *Core) writeSlot(st *state, r cdfg.VarRef, v int32) {
+	if !r.Global && c.Region.Func.Locals[r.ID].Temp {
+		st.temps[r.ID] = v
+		return
+	}
+	st.scalars[dataflow.Key{Global: r.Global, ID: r.ID}] = v
+}
+
+// opEnergy charges one datapath operation with activity-scaled switching
+// energy: E = E_active_cycle(kind) × dur × (0.25 + 0.75 × toggle rate).
+func (c *Core) opEnergy(op *cdfg.Op, a, b int32) units.Energy {
+	pl, ok := c.Binding.PlacementOf[op.ID]
+	if !ok {
+		return 0 // consts, branches: wiring and FSM, charged per cycle
+	}
+	if pl.Mem {
+		return c.lib.EBufferAccess
+	}
+	tglA := float64(bits.OnesCount32(uint32(c.prevA[op.ID]^a))) / 32
+	tglB := float64(bits.OnesCount32(uint32(c.prevB[op.ID]^b))) / 32
+	c.prevA[op.ID], c.prevB[op.ID] = a, b
+	act := 0.25 + 0.75*(tglA+tglB)/2
+	r := c.lib.Resource(pl.Kind)
+	return units.Energy(float64(pl.Dur) * act * float64(r.EnergyPerActiveCycle()))
+}
+
+// execute runs the region's blocks until control leaves for the exit
+// block, accounting cycles (scheduled block latencies) and energy.
+func (c *Core) execute(st *state) (cycles int64, energy units.Energy, err error) {
+	inRegion := make(map[int]bool, len(c.Region.Blocks))
+	for _, bid := range c.Region.Blocks {
+		inRegion[bid] = true
+	}
+	f := c.Region.Func
+	perCycleOverhead := c.lib.EControllerPerCycle +
+		units.Energy(c.Binding.LiveWords)*c.lib.ERegisterPerCycle
+	// Residual idle switching of gated instances, precomputed per cycle.
+	var idlePerCycle units.Energy
+	for _, in := range c.Binding.Instances {
+		idlePerCycle += units.Energy(asicIdleFraction) *
+			c.lib.Resource(in.Kind).EnergyPerIdleCycle()
+	}
+	// Active ops displace idle burn; approximating by charging idle on
+	// every instance-cycle and activity energy on top stays within a few
+	// percent for high-utilization clusters and is conservative.
+
+	blockID := c.Region.Entry
+	var blocksRun int64
+	for {
+		if !inRegion[blockID] {
+			if blockID != c.exitBlock {
+				return 0, 0, fmt.Errorf("asic: control left region %s via unexpected block b%d",
+					c.Region.Label, blockID)
+			}
+			return cycles, energy, nil
+		}
+		blocksRun++
+		if blocksRun > c.MaxBlocks {
+			return 0, 0, fmt.Errorf("asic: region %s exceeded %d blocks", c.Region.Label, c.MaxBlocks)
+		}
+		blen := int64(c.Binding.BlockLen[blockID])
+		cycles += blen
+		energy += units.Energy(float64(blen)) * (perCycleOverhead + idlePerCycle)
+
+		b := f.Block(blockID)
+		next := -1
+		for i := range b.Ops {
+			op := &b.Ops[i]
+			switch {
+			case op.Code == cdfg.Nop:
+			case op.Code == cdfg.ConstOp:
+				c.writeSlot(st, op.Dst, op.Imm)
+			case op.Code == cdfg.Copy:
+				v, e := c.readOperand(st, op.A)
+				if e != nil {
+					return 0, 0, e
+				}
+				energy += c.opEnergy(op, v, 0)
+				c.writeSlot(st, op.Dst, v)
+			case op.Code.IsBinary():
+				a, e := c.readOperand(st, op.A)
+				if e != nil {
+					return 0, 0, e
+				}
+				bv, e := c.readOperand(st, op.B)
+				if e != nil {
+					return 0, 0, e
+				}
+				energy += c.opEnergy(op, a, bv)
+				v, evalErr := behav.EvalBinOp(cdfg.BehavBinOp(op.Code), a, bv)
+				if evalErr != nil {
+					return 0, 0, fmt.Errorf("asic: %v: %v", op.Pos, evalErr)
+				}
+				c.writeSlot(st, op.Dst, v)
+			case op.Code == cdfg.Neg || op.Code == cdfg.Not || op.Code == cdfg.LNot:
+				a, e := c.readOperand(st, op.A)
+				if e != nil {
+					return 0, 0, e
+				}
+				energy += c.opEnergy(op, a, 0)
+				var v int32
+				switch op.Code {
+				case cdfg.Neg:
+					v = -a
+				case cdfg.Not:
+					v = ^a
+				default:
+					if a == 0 {
+						v = 1
+					}
+				}
+				c.writeSlot(st, op.Dst, v)
+			case op.Code == cdfg.Load:
+				idx, e := c.readOperand(st, op.A)
+				if e != nil {
+					return 0, 0, e
+				}
+				arr := c.arrayOf(st, op.Arr)
+				if idx < 0 || int(idx) >= len(arr) {
+					return 0, 0, fmt.Errorf("asic: %v: index %d out of range [0,%d)", op.Pos, idx, len(arr))
+				}
+				energy += c.opEnergy(op, idx, 0)
+				c.writeSlot(st, op.Dst, arr[idx])
+			case op.Code == cdfg.Store:
+				idx, e := c.readOperand(st, op.A)
+				if e != nil {
+					return 0, 0, e
+				}
+				val, e := c.readOperand(st, op.B)
+				if e != nil {
+					return 0, 0, e
+				}
+				arr := c.arrayOf(st, op.Arr)
+				if idx < 0 || int(idx) >= len(arr) {
+					return 0, 0, fmt.Errorf("asic: %v: index %d out of range [0,%d)", op.Pos, idx, len(arr))
+				}
+				energy += c.opEnergy(op, idx, val)
+				arr[idx] = val
+			case op.Code == cdfg.Br:
+				next = op.Target
+			case op.Code == cdfg.CBr:
+				v, e := c.readOperand(st, op.A)
+				if e != nil {
+					return 0, 0, e
+				}
+				if v != 0 {
+					next = op.Then
+				} else {
+					next = op.Else
+				}
+			default:
+				return 0, 0, fmt.Errorf("asic: op %v cannot execute on an ASIC core", op.Code)
+			}
+		}
+		if next == -1 {
+			return 0, 0, fmt.Errorf("asic: block b%d fell through", blockID)
+		}
+		blockID = next
+	}
+}
+
+// arrayOf returns the core-local buffer of an array, creating a
+// zero-initialized one if the array was never synchronized (dead-in).
+func (c *Core) arrayOf(st *state, a cdfg.ArrRef) []int32 {
+	k := dataflow.Key{Global: a.Global, ID: a.ID}
+	if buf, ok := st.arrays[k]; ok {
+		return buf
+	}
+	var v cdfg.Var
+	if a.Global {
+		v = c.prog.Globals[a.ID]
+	} else {
+		v = c.Region.Func.Locals[a.ID]
+	}
+	buf := make([]int32, v.Len)
+	st.arrays[k] = buf
+	return buf
+}

@@ -1,0 +1,247 @@
+package behav
+
+// Program is a parsed behavioral description.
+type Program struct {
+	Name    string // derived from the source name passed to Parse
+	Consts  []*ConstDecl
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// ConstDecl is a top-level compile-time constant.
+type ConstDecl struct {
+	Name string
+	Val  int32
+	Pos  Pos
+}
+
+// VarDecl declares a scalar (Len == 0) or array (Len > 0) variable; it is
+// used for both globals and function-local declarations.
+type VarDecl struct {
+	Name string
+	Len  int32 // 0 for scalar, element count for arrays
+	Init Expr  // optional initializer (scalars only; nil if absent)
+	Pos  Pos
+}
+
+// IsArray reports whether the declaration is an array.
+func (v *VarDecl) IsArray() bool { return v.Len > 0 }
+
+// FuncDecl is a function definition. All parameters and the (optional)
+// return value are 32-bit integers.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *BlockStmt
+	Pos    Pos
+}
+
+// Stmt is the interface of all statement nodes.
+type Stmt interface {
+	stmtNode()
+	StmtPos() Pos
+}
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// LocalStmt declares a function-local variable.
+type LocalStmt struct {
+	Decl *VarDecl
+}
+
+// AssignStmt stores Value into Target (optionally indexed).
+type AssignStmt struct {
+	Target string
+	Index  Expr // nil for scalar targets
+	Value  Expr
+	Pos    Pos
+}
+
+// IfStmt is a conditional with an optional else branch (which may itself
+// be another IfStmt for "else if" chains).
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt or nil
+	Pos  Pos
+}
+
+// ForStmt is a C-style counted loop. Init and Post are optional
+// assignments; Cond is an optional expression (absent = forever).
+type ForStmt struct {
+	Init *AssignStmt
+	Cond Expr
+	Post *AssignStmt
+	Body *BlockStmt
+	Pos  Pos
+}
+
+// WhileStmt loops while Cond is non-zero.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Pos  Pos
+}
+
+// ReturnStmt leaves the current function, optionally yielding a value.
+type ReturnStmt struct {
+	Value Expr // nil for plain "return;"
+	Pos   Pos
+}
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+func (*BlockStmt) stmtNode()  {}
+func (*LocalStmt) stmtNode()  {}
+func (*AssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*ForStmt) stmtNode()    {}
+func (*WhileStmt) stmtNode()  {}
+func (*ReturnStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()   {}
+
+// StmtPos returns the statement's source position.
+func (s *BlockStmt) StmtPos() Pos  { return s.Pos }
+func (s *LocalStmt) StmtPos() Pos  { return s.Decl.Pos }
+func (s *AssignStmt) StmtPos() Pos { return s.Pos }
+func (s *IfStmt) StmtPos() Pos     { return s.Pos }
+func (s *ForStmt) StmtPos() Pos    { return s.Pos }
+func (s *WhileStmt) StmtPos() Pos  { return s.Pos }
+func (s *ReturnStmt) StmtPos() Pos { return s.Pos }
+func (s *ExprStmt) StmtPos() Pos   { return s.Pos }
+
+// Expr is the interface of all expression nodes.
+type Expr interface {
+	exprNode()
+	ExprPos() Pos
+}
+
+// IntExpr is an integer literal (or a folded constant reference).
+type IntExpr struct {
+	Val int32
+	Pos Pos
+}
+
+// VarExpr reads a scalar variable.
+type VarExpr struct {
+	Name string
+	Pos  Pos
+}
+
+// IndexExpr reads an array element.
+type IndexExpr struct {
+	Name  string
+	Index Expr
+	Pos   Pos
+}
+
+// CallExpr invokes a function.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpEq
+	OpNeq
+	OpLt
+	OpLeq
+	OpGt
+	OpGeq
+	OpLAnd // short-circuit &&
+	OpLOr  // short-circuit ||
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpRem: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>",
+	OpEq: "==", OpNeq: "!=", OpLt: "<", OpLeq: "<=", OpGt: ">", OpGeq: ">=",
+	OpLAnd: "&&", OpLOr: "||",
+}
+
+// String returns the operator's source spelling.
+func (op BinOp) String() string { return binOpNames[op] }
+
+// BinExpr applies a binary operator.
+type BinExpr struct {
+	Op   BinOp
+	L, R Expr
+	Pos  Pos
+}
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+// Unary operators.
+const (
+	OpNeg  UnOp = iota // arithmetic negation
+	OpNot              // bitwise complement ~
+	OpLNot             // logical not !
+)
+
+// String returns the operator's source spelling.
+func (op UnOp) String() string {
+	switch op {
+	case OpNeg:
+		return "-"
+	case OpNot:
+		return "~"
+	default:
+		return "!"
+	}
+}
+
+// UnExpr applies a unary operator.
+type UnExpr struct {
+	Op  UnOp
+	X   Expr
+	Pos Pos
+}
+
+func (*IntExpr) exprNode()   {}
+func (*VarExpr) exprNode()   {}
+func (*IndexExpr) exprNode() {}
+func (*CallExpr) exprNode()  {}
+func (*BinExpr) exprNode()   {}
+func (*UnExpr) exprNode()    {}
+
+// ExprPos returns the expression's source position.
+func (e *IntExpr) ExprPos() Pos   { return e.Pos }
+func (e *VarExpr) ExprPos() Pos   { return e.Pos }
+func (e *IndexExpr) ExprPos() Pos { return e.Pos }
+func (e *CallExpr) ExprPos() Pos  { return e.Pos }
+func (e *BinExpr) ExprPos() Pos   { return e.Pos }
+func (e *UnExpr) ExprPos() Pos    { return e.Pos }

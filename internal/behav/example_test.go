@@ -1,0 +1,43 @@
+package behav_test
+
+import (
+	"fmt"
+
+	"lppart/internal/behav"
+)
+
+// ExampleParse shows the front end on a minimal application.
+func ExampleParse() {
+	prog, err := behav.Parse("demo", `
+const N = 4;
+var sum;
+func main() {
+	var i;
+	for i = 0; i < N; i = i + 1 {
+		sum = sum + i * i;
+	}
+	return sum;
+}
+`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("program:", prog.Name)
+	fmt.Println("globals:", len(prog.Globals))
+	fmt.Println("functions:", len(prog.Funcs))
+	// Output:
+	// program: demo
+	// globals: 1
+	// functions: 1
+}
+
+// ExampleEvalBinOp shows the shared operator semantics every execution
+// engine in the framework agrees on.
+func ExampleEvalBinOp() {
+	q, _ := behav.EvalBinOp(behav.OpDiv, 7, -2)
+	r, _ := behav.EvalBinOp(behav.OpRem, 7, -2)
+	s, _ := behav.EvalBinOp(behav.OpShr, -8, 1)
+	fmt.Println(q, r, s)
+	// Output: -3 1 -4
+}

@@ -1,0 +1,202 @@
+package behav
+
+import "strconv"
+
+// lexer turns source text into tokens. Comments run from '#' or "//" to
+// end of line.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peekByte2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekByte2() == '/':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// next returns the next token, or an *Error on malformed input.
+func (l *lexer) next() (Token, error) {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentCont(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: Ident, Text: text, Pos: pos}, nil
+
+	case isDigit(c):
+		start := l.off
+		// Hex literals.
+		if c == '0' && (l.peekByte2() == 'x' || l.peekByte2() == 'X') {
+			l.advance()
+			l.advance()
+			for l.off < len(l.src) && isHexDigit(l.peekByte()) {
+				l.advance()
+			}
+			text := l.src[start:l.off]
+			v, err := strconv.ParseUint(text[2:], 16, 32)
+			if err != nil {
+				return Token{}, errf(pos, "bad hex literal %q", text)
+			}
+			return Token{Kind: IntLit, Text: text, Val: int32(uint32(v)), Pos: pos}, nil
+		}
+		for l.off < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil || v > 1<<31 { // allow 2147483648 only after unary minus? keep strict
+			return Token{}, errf(pos, "integer literal %q out of 32-bit range", text)
+		}
+		return Token{Kind: IntLit, Text: text, Val: int32(v), Pos: pos}, nil
+	}
+
+	l.advance()
+	two := func(second byte, k2, k1 Kind) (Token, error) {
+		if l.peekByte() == second {
+			l.advance()
+			return Token{Kind: k2, Pos: pos}, nil
+		}
+		return Token{Kind: k1, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: RParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: LBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: RBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: LBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: RBracket, Pos: pos}, nil
+	case ',':
+		return Token{Kind: Comma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: Semicolon, Pos: pos}, nil
+	case '+':
+		return Token{Kind: Plus, Pos: pos}, nil
+	case '-':
+		return Token{Kind: Minus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: Star, Pos: pos}, nil
+	case '/':
+		return Token{Kind: Slash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: Percent, Pos: pos}, nil
+	case '^':
+		return Token{Kind: Caret, Pos: pos}, nil
+	case '~':
+		return Token{Kind: Tilde, Pos: pos}, nil
+	case '&':
+		return two('&', AndAnd, Amp)
+	case '|':
+		return two('|', OrOr, Pipe)
+	case '=':
+		return two('=', Eq, Assign)
+	case '!':
+		return two('=', Neq, Not)
+	case '<':
+		if l.peekByte() == '<' {
+			l.advance()
+			return Token{Kind: Shl, Pos: pos}, nil
+		}
+		return two('=', Leq, Lt)
+	case '>':
+		if l.peekByte() == '>' {
+			l.advance()
+			return Token{Kind: Shr, Pos: pos}, nil
+		}
+		return two('=', Geq, Gt)
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || ('a' <= c && c <= 'f') || ('A' <= c && c <= 'F')
+}
+
+// Lex tokenizes src completely; used by tests and tools.
+func Lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

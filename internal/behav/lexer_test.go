@@ -1,0 +1,113 @@
+package behav
+
+import "testing"
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("func main() { x = 1 + 2; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwFunc, Ident, LParen, RParen, LBrace, Ident, Assign,
+		IntLit, Plus, IntLit, Semicolon, RBrace, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex("<< >> <= >= == != && || < > = ! & | ^ ~ %")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{Shl, Shr, Leq, Geq, Eq, Neq, AndAnd, OrOr, Lt, Gt,
+		Assign, Not, Amp, Pipe, Caret, Tilde, Percent, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("x # a hash comment\ny // a slash comment\nz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 || toks[0].Text != "x" || toks[1].Text != "y" || toks[2].Text != "z" {
+		t.Errorf("comments not skipped: %v", toks)
+	}
+}
+
+func TestLexIntLiterals(t *testing.T) {
+	toks, err := Lex("0 42 2147483647 0x10 0xFF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVals := []int32{0, 42, 2147483647, 16, 255}
+	for i, w := range wantVals {
+		if toks[i].Kind != IntLit || toks[i].Val != w {
+			t.Errorf("literal %d: got %v (%d), want %d", i, toks[i].Kind, toks[i].Val, w)
+		}
+	}
+}
+
+func TestLexIntOverflow(t *testing.T) {
+	if _, err := Lex("99999999999"); err == nil {
+		t.Error("expected overflow error")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("a at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("b at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexBadChar(t *testing.T) {
+	_, err := Lex("a @ b")
+	if err == nil {
+		t.Fatal("expected error for '@'")
+	}
+	if e, ok := err.(*Error); !ok || e.Pos.Col != 3 {
+		t.Errorf("error = %v, want *Error at col 3", err)
+	}
+}
+
+func TestKeywordRecognition(t *testing.T) {
+	toks, err := Lex("const var func if else for while return forx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwConst, KwVar, KwFunc, KwIf, KwElse, KwFor, KwWhile, KwReturn, Ident, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[8].Text != "forx" {
+		t.Errorf("keyword-prefixed identifier mangled: %q", toks[8].Text)
+	}
+}

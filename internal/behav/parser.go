@@ -1,0 +1,686 @@
+package behav
+
+import "fmt"
+
+// parser is a recursive-descent parser with one token of lookahead.
+type parser struct {
+	lex    *lexer
+	tok    Token
+	consts map[string]int32 // compile-time constants, usable in expressions
+}
+
+// Parse parses a complete behavioral program. The name labels the program
+// (it becomes Program.Name and appears in reports).
+func Parse(name, src string) (*Program, error) {
+	p := &parser{lex: newLexer(src), consts: make(map[string]int32)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &Program{Name: name}
+	for p.tok.Kind != EOF {
+		switch p.tok.Kind {
+		case KwConst:
+			d, err := p.parseConst()
+			if err != nil {
+				return nil, err
+			}
+			prog.Consts = append(prog.Consts, d)
+		case KwVar:
+			d, err := p.parseVarDecl(false)
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, d)
+		case KwFunc:
+			f, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			return nil, errf(p.tok.Pos, "expected declaration, found %v", p.tok)
+		}
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error; intended for compiled-in
+// application sources that are validated by tests.
+func MustParse(name, src string) *Program {
+	prog, err := Parse(name, src)
+	if err != nil {
+		panic(fmt.Sprintf("behav.MustParse(%s): %v", name, err))
+	}
+	return prog
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	t := p.tok
+	if t.Kind != k {
+		return t, errf(t.Pos, "expected %v, found %v", k, t)
+	}
+	return t, p.advance()
+}
+
+func (p *parser) parseConst() (*ConstDecl, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil { // const
+		return nil, err
+	}
+	name, err := p.expect(Ident)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Assign); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	v, err := p.evalConst(e)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	p.consts[name.Text] = v
+	return &ConstDecl{Name: name.Text, Val: v, Pos: pos}, nil
+}
+
+// evalConst folds a constant expression at parse time.
+func (p *parser) evalConst(e Expr) (int32, error) {
+	switch e := e.(type) {
+	case *IntExpr:
+		return e.Val, nil
+	case *VarExpr:
+		if v, ok := p.consts[e.Name]; ok {
+			return v, nil
+		}
+		return 0, errf(e.Pos, "%q is not a compile-time constant", e.Name)
+	case *UnExpr:
+		v, err := p.evalConst(e.X)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case OpNeg:
+			return -v, nil
+		case OpNot:
+			return ^v, nil
+		default:
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+	case *BinExpr:
+		l, err := p.evalConst(e.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := p.evalConst(e.R)
+		if err != nil {
+			return 0, err
+		}
+		v, err := EvalBinOp(e.Op, l, r)
+		if err != nil {
+			return 0, errf(e.Pos, "%v", err)
+		}
+		return v, nil
+	default:
+		return 0, errf(e.ExprPos(), "expression is not compile-time constant")
+	}
+}
+
+func (p *parser) parseVarDecl(allowInit bool) (*VarDecl, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil { // var
+		return nil, err
+	}
+	name, err := p.expect(Ident)
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Name: name.Text, Pos: pos}
+	if p.tok.Kind == LBracket {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		n, err := p.evalConst(e)
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, errf(pos, "array %q must have positive length, got %d", d.Name, n)
+		}
+		d.Len = n
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.Kind == Assign {
+		if !allowInit {
+			return nil, errf(p.tok.Pos, "global %q cannot have an initializer", d.Name)
+		}
+		if d.IsArray() {
+			return nil, errf(p.tok.Pos, "array %q cannot have an initializer", d.Name)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) parseFunc() (*FuncDecl, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil { // func
+		return nil, err
+	}
+	name, err := p.expect(Ident)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Name: name.Text, Pos: pos}
+	if p.tok.Kind != RParen {
+		for {
+			param, err := p.expect(Ident)
+			if err != nil {
+				return nil, err
+			}
+			f.Params = append(f.Params, param.Text)
+			if p.tok.Kind != Comma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: pos}
+	for p.tok.Kind != RBrace {
+		if p.tok.Kind == EOF {
+			return nil, errf(p.tok.Pos, "unexpected end of input in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, p.advance()
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch p.tok.Kind {
+	case KwVar:
+		d, err := p.parseVarDecl(true)
+		if err != nil {
+			return nil, err
+		}
+		return &LocalStmt{Decl: d}, nil
+	case KwIf:
+		return p.parseIf()
+	case KwFor:
+		return p.parseFor()
+	case KwWhile:
+		return p.parseWhile()
+	case KwReturn:
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r := &ReturnStmt{Pos: pos}
+		if p.tok.Kind != Semicolon {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.Value = e
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case LBrace:
+		return p.parseBlock()
+	case Ident:
+		return p.parseSimpleStmt(true)
+	default:
+		return nil, errf(p.tok.Pos, "expected statement, found %v", p.tok)
+	}
+}
+
+// parseSimpleStmt parses an assignment or an expression statement starting
+// at an identifier. When wantSemi is true it consumes the trailing ';'.
+func (p *parser) parseSimpleStmt(wantSemi bool) (Stmt, error) {
+	pos := p.tok.Pos
+	name := p.tok.Text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	switch p.tok.Kind {
+	case Assign:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s := &AssignStmt{Target: name, Value: val, Pos: pos}
+		if wantSemi {
+			if _, err := p.expect(Semicolon); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	case LBracket:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Assign); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s := &AssignStmt{Target: name, Index: idx, Value: val, Pos: pos}
+		if wantSemi {
+			if _, err := p.expect(Semicolon); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	case LParen:
+		// Call statement: re-parse as expression.
+		call, err := p.parseCallAfterName(name, pos)
+		if err != nil {
+			return nil, err
+		}
+		s := &ExprStmt{X: call, Pos: pos}
+		if wantSemi {
+			if _, err := p.expect(Semicolon); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	default:
+		return nil, errf(p.tok.Pos, "expected '=', '[' or '(' after %q, found %v", name, p.tok)
+	}
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil { // if
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Pos: pos}
+	if p.tok.Kind == KwElse {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == KwIf {
+			els, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil { // for
+		return nil, err
+	}
+	s := &ForStmt{Pos: pos}
+	if p.tok.Kind != Semicolon {
+		st, err := p.parseSimpleStmt(false)
+		if err != nil {
+			return nil, err
+		}
+		as, ok := st.(*AssignStmt)
+		if !ok {
+			return nil, errf(pos, "for-loop init must be an assignment")
+		}
+		s.Init = as
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != Semicolon {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != LBrace {
+		st, err := p.parseSimpleStmt(false)
+		if err != nil {
+			return nil, err
+		}
+		as, ok := st.(*AssignStmt)
+		if !ok {
+			return nil, errf(pos, "for-loop post must be an assignment")
+		}
+		s.Post = as
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+func (p *parser) parseWhile() (Stmt, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil { // while
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Pos: pos}, nil
+}
+
+// Operator precedence, loosest to tightest, C-style.
+var binPrec = map[Kind]int{
+	OrOr:   1,
+	AndAnd: 2,
+	Pipe:   3,
+	Caret:  4,
+	Amp:    5,
+	Eq:     6, Neq: 6,
+	Lt: 7, Leq: 7, Gt: 7, Geq: 7,
+	Shl: 8, Shr: 8,
+	Plus: 9, Minus: 9,
+	Star: 10, Slash: 10, Percent: 10,
+}
+
+var tokToBinOp = map[Kind]BinOp{
+	OrOr: OpLOr, AndAnd: OpLAnd, Pipe: OpOr, Caret: OpXor, Amp: OpAnd,
+	Eq: OpEq, Neq: OpNeq, Lt: OpLt, Leq: OpLeq, Gt: OpGt, Geq: OpGeq,
+	Shl: OpShl, Shr: OpShr, Plus: OpAdd, Minus: OpSub,
+	Star: OpMul, Slash: OpDiv, Percent: OpRem,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binPrec[p.tok.Kind]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		op := tokToBinOp[p.tok.Kind]
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: op, L: left, R: right, Pos: pos}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case Minus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negative literals immediately so "-5" is a constant.
+		if lit, ok := x.(*IntExpr); ok {
+			return &IntExpr{Val: -lit.Val, Pos: pos}, nil
+		}
+		return &UnExpr{Op: OpNeg, X: x, Pos: pos}, nil
+	case Tilde:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: OpNot, X: x, Pos: pos}, nil
+	case Not:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: OpLNot, X: x, Pos: pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case IntLit:
+		v := p.tok.Val
+		return &IntExpr{Val: v, Pos: pos}, p.advance()
+	case LParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(RParen)
+		return e, err
+	case Ident:
+		name := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch p.tok.Kind {
+		case LParen:
+			return p.parseCallAfterName(name, pos)
+		case LBracket:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: name, Index: idx, Pos: pos}, nil
+		default:
+			if v, ok := p.consts[name]; ok {
+				return &IntExpr{Val: v, Pos: pos}, nil
+			}
+			return &VarExpr{Name: name, Pos: pos}, nil
+		}
+	default:
+		return nil, errf(pos, "expected expression, found %v", p.tok)
+	}
+}
+
+func (p *parser) parseCallAfterName(name string, pos Pos) (Expr, error) {
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	call := &CallExpr{Name: name, Pos: pos}
+	if p.tok.Kind != RParen {
+		for {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, arg)
+			if p.tok.Kind != Comma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	_, err := p.expect(RParen)
+	return call, err
+}
+
+// EvalBinOp applies a binary operator to two 32-bit values with the
+// language's semantics: wrap-around arithmetic, truncated division,
+// logical shifts masked to 0–31, and 0/1 booleans for comparisons. It is
+// shared by the constant folder, the IR interpreter and the ISS so all
+// three agree by construction.
+func EvalBinOp(op BinOp, l, r int32) (int32, error) {
+	switch op {
+	case OpAdd:
+		return l + r, nil
+	case OpSub:
+		return l - r, nil
+	case OpMul:
+		return l * r, nil
+	case OpDiv:
+		if r == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		if l == -1<<31 && r == -1 {
+			return -1 << 31, nil // wraps, like the hardware
+		}
+		return l / r, nil
+	case OpRem:
+		if r == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		if l == -1<<31 && r == -1 {
+			return 0, nil
+		}
+		return l % r, nil
+	case OpAnd:
+		return l & r, nil
+	case OpOr:
+		return l | r, nil
+	case OpXor:
+		return l ^ r, nil
+	case OpShl:
+		return l << (uint32(r) & 31), nil
+	case OpShr:
+		return l >> (uint32(r) & 31), nil // arithmetic shift
+	case OpEq:
+		return b2i(l == r), nil
+	case OpNeq:
+		return b2i(l != r), nil
+	case OpLt:
+		return b2i(l < r), nil
+	case OpLeq:
+		return b2i(l <= r), nil
+	case OpGt:
+		return b2i(l > r), nil
+	case OpGeq:
+		return b2i(l >= r), nil
+	case OpLAnd:
+		return b2i(l != 0 && r != 0), nil
+	case OpLOr:
+		return b2i(l != 0 || r != 0), nil
+	default:
+		return 0, fmt.Errorf("unknown operator %d", int(op))
+	}
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

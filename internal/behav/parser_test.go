@@ -1,0 +1,321 @@
+package behav
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseMinimal(t *testing.T) {
+	prog, err := Parse("min", "func main() { }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "min" || len(prog.Funcs) != 1 || prog.Funcs[0].Name != "main" {
+		t.Errorf("unexpected program: %+v", prog)
+	}
+}
+
+func TestParseDeclarations(t *testing.T) {
+	src := `
+const N = 8;
+const M = N * 2;
+var buf[M];
+var total;
+func main() {
+	var i int2;
+	i = 0;
+	total = 0;
+	for i = 0; i < M; i = i + 1 {
+		buf[i] = i;
+		total = total + buf[i];
+	}
+}
+`
+	// "int2" is just an identifier-typed var name error; fix the source.
+	src = strings.Replace(src, "var i int2;", "var i;", 1)
+	prog, err := Parse("decl", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Consts) != 2 || prog.Consts[1].Val != 16 {
+		t.Errorf("const folding wrong: %+v", prog.Consts)
+	}
+	if len(prog.Globals) != 2 || prog.Globals[0].Len != 16 {
+		t.Errorf("globals wrong: %+v", prog.Globals)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// 2+3*4 = 14 via constant evaluation in a const declaration.
+	prog, err := Parse("prec", "const A = 2 + 3 * 4; const B = (2+3)*4; const C = 1 << 4 | 1; func main(){}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Consts[0].Val != 14 {
+		t.Errorf("A = %d, want 14", prog.Consts[0].Val)
+	}
+	if prog.Consts[1].Val != 20 {
+		t.Errorf("B = %d, want 20", prog.Consts[1].Val)
+	}
+	if prog.Consts[2].Val != 17 {
+		t.Errorf("C = %d, want 17 (shift binds tighter than or)", prog.Consts[2].Val)
+	}
+}
+
+func TestParseUnary(t *testing.T) {
+	prog, err := Parse("un", "const A = -5; const B = ~0; const C = !3; const D = !0; func main(){}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{-5, -1, 0, 1}
+	for i, w := range want {
+		if prog.Consts[i].Val != w {
+			t.Errorf("const %d = %d, want %d", i, prog.Consts[i].Val, w)
+		}
+	}
+}
+
+func TestParseIfElseChain(t *testing.T) {
+	src := `
+func main() {
+	var x;
+	x = 1;
+	if x > 2 {
+		x = 2;
+	} else if x > 1 {
+		x = 1;
+	} else {
+		x = 0;
+	}
+}
+`
+	prog, err := Parse("ifelse", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Funcs[0].Body.Stmts
+	ifStmt, ok := body[2].(*IfStmt)
+	if !ok {
+		t.Fatalf("statement 2 is %T, want *IfStmt", body[2])
+	}
+	inner, ok := ifStmt.Else.(*IfStmt)
+	if !ok {
+		t.Fatalf("else branch is %T, want *IfStmt", ifStmt.Else)
+	}
+	if inner.Else == nil {
+		t.Error("inner if has no else")
+	}
+}
+
+func TestParseForVariants(t *testing.T) {
+	src := `
+func main() {
+	var i;
+	var s;
+	s = 0;
+	for i = 0; i < 10; i = i + 1 { s = s + i; }
+	i = 0;
+	for ; i < 10; { i = i + 1; }
+	while i > 0 { i = i - 1; }
+}
+`
+	prog, err := Parse("loops", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := prog.Funcs[0].Body.Stmts
+	full := stmts[3].(*ForStmt)
+	if full.Init == nil || full.Cond == nil || full.Post == nil {
+		t.Error("full for-loop missing parts")
+	}
+	bare := stmts[5].(*ForStmt)
+	if bare.Init != nil || bare.Cond == nil || bare.Post != nil {
+		t.Error("bare for-loop parsed wrong")
+	}
+	if _, ok := stmts[6].(*WhileStmt); !ok {
+		t.Error("while statement missing")
+	}
+}
+
+func TestParseCalls(t *testing.T) {
+	src := `
+func helper(a, b) { return a + b; }
+func main() {
+	var x;
+	x = helper(1, 2);
+	helper(x, x);
+}
+`
+	prog, err := Parse("calls", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn := prog.Funcs[1].Body.Stmts[1].(*AssignStmt)
+	call, ok := asn.Value.(*CallExpr)
+	if !ok || call.Name != "helper" || len(call.Args) != 2 {
+		t.Errorf("call parsed wrong: %+v", asn.Value)
+	}
+	if _, ok := prog.Funcs[1].Body.Stmts[2].(*ExprStmt); !ok {
+		t.Error("call statement missing")
+	}
+}
+
+func TestParseArrayAccess(t *testing.T) {
+	src := `
+var a[4];
+func main() {
+	var i;
+	i = 0;
+	a[i] = a[i+1] + a[0];
+}
+`
+	prog, err := Parse("arr", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn := prog.Funcs[0].Body.Stmts[2].(*AssignStmt)
+	if asn.Index == nil {
+		t.Error("indexed assignment lost its index")
+	}
+	bin := asn.Value.(*BinExpr)
+	if _, ok := bin.L.(*IndexExpr); !ok {
+		t.Errorf("left operand is %T, want *IndexExpr", bin.L)
+	}
+}
+
+func TestParseLocalInit(t *testing.T) {
+	prog, err := Parse("init", "func main() { var x = 5; var y = x + 1; y = y; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := prog.Funcs[0].Body.Stmts[0].(*LocalStmt)
+	if loc.Decl.Init == nil {
+		t.Error("local initializer dropped")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no-main", "func f() {}", "no main"},
+		{"main-params", "func main(a) {}", "no parameters"},
+		{"missing-semi", "func main() { x = 1 }", "expected"},
+		{"undeclared", "func main() { x = 1; }", "undeclared"},
+		{"bad-array-len", "var a[0]; func main(){}", "positive length"},
+		{"neg-array-len", "var a[-3]; func main(){}", "positive length"},
+		{"global-init", "var g = 3; func main(){}", "initializer"},
+		{"array-init", "func main(){ var a[3] = 1; }", "initializer"},
+		{"non-const-len", "func main(){ var x; x=1; var a[x]; }", "constant"},
+		{"redecl-global", "var g; var g; func main(){}", "redeclaration"},
+		{"redecl-local", "func main(){ var x; var x; }", "redeclaration"},
+		{"dup-param", "func f(a, a) {} func main(){}", "duplicate parameter"},
+		{"bad-arity", "func f(a) { return a; } func main(){ var x; x = f(1,2); }", "takes 1 arguments"},
+		{"undeclared-fn", "func main(){ g(); }", "undeclared function"},
+		{"array-as-scalar", "var a[2]; func main(){ a = 1; }", "array"},
+		{"scalar-as-array", "var s; func main(){ s[0] = 1; }", "not an array"},
+		{"array-no-index", "var a[2]; func main(){ var x; x = a; }", "without index"},
+		{"const-div-zero", "const A = 1/0; func main(){}", "zero"},
+		{"unterminated-block", "func main() { ", "end of input"},
+		{"stmt-garbage", "func main() { 42; }", "statement"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.name, c.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error containing %q", c.src, c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse must panic on bad input")
+		}
+	}()
+	MustParse("bad", "func broken(")
+}
+
+func TestEvalBinOpSemantics(t *testing.T) {
+	cases := []struct {
+		op   BinOp
+		l, r int32
+		want int32
+	}{
+		{OpAdd, 2147483647, 1, -2147483648}, // wrap-around
+		{OpSub, -2147483648, 1, 2147483647},
+		{OpMul, 65536, 65536, 0},
+		{OpDiv, 7, -2, -3},              // truncation toward zero
+		{OpRem, 7, -2, 1},               // sign follows dividend
+		{OpDiv, -1 << 31, -1, -1 << 31}, // hardware wrap
+		{OpRem, -1 << 31, -1, 0},
+		{OpShl, 1, 33, 2},  // shift amount masked to 5 bits
+		{OpShr, -8, 1, -4}, // arithmetic right shift
+		{OpLAnd, 5, 0, 0},
+		{OpLOr, 0, 9, 1},
+		{OpGeq, 3, 3, 1},
+	}
+	for _, c := range cases {
+		got, err := EvalBinOp(c.op, c.l, c.r)
+		if err != nil {
+			t.Errorf("EvalBinOp(%v,%d,%d) error: %v", c.op, c.l, c.r, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("EvalBinOp(%v,%d,%d) = %d, want %d", c.op, c.l, c.r, got, c.want)
+		}
+	}
+	if _, err := EvalBinOp(OpDiv, 1, 0); err == nil {
+		t.Error("division by zero must error")
+	}
+	if _, err := EvalBinOp(OpRem, 1, 0); err == nil {
+		t.Error("remainder by zero must error")
+	}
+}
+
+// Property: comparison operators always return 0 or 1 and are mutually
+// consistent.
+func TestCompareOpsProperty(t *testing.T) {
+	f := func(l, r int32) bool {
+		lt, _ := EvalBinOp(OpLt, l, r)
+		geq, _ := EvalBinOp(OpGeq, l, r)
+		eq, _ := EvalBinOp(OpEq, l, r)
+		neq, _ := EvalBinOp(OpNeq, l, r)
+		gt, _ := EvalBinOp(OpGt, l, r)
+		leq, _ := EvalBinOp(OpLeq, l, r)
+		ok := lt+geq == 1 && eq+neq == 1 && gt+leq == 1
+		ok = ok && (lt == 0 || lt == 1) && (eq == 0 || eq == 1)
+		if eq == 1 {
+			ok = ok && lt == 0 && gt == 0
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: div/rem satisfy l == (l/r)*r + l%r for all non-zero r except
+// the INT_MIN/-1 wrap case.
+func TestDivRemProperty(t *testing.T) {
+	f := func(l, r int32) bool {
+		if r == 0 || (l == -1<<31 && r == -1) {
+			return true
+		}
+		q, err1 := EvalBinOp(OpDiv, l, r)
+		m, err2 := EvalBinOp(OpRem, l, r)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return q*r+m == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,222 @@
+package behav
+
+import "fmt"
+
+// symKind distinguishes the declared shape of a name.
+type symKind int
+
+const (
+	symScalar symKind = iota
+	symArray
+	symFunc
+)
+
+// Check performs the semantic analysis of a parsed program: unique
+// declarations, declared-before-use, scalar/array shape agreement and call
+// arity. Locals are function-scoped (C89-style): a name may be declared
+// once per function and is visible in the whole body.
+func Check(prog *Program) error {
+	globals := make(map[string]symKind)
+	arity := make(map[string]int)
+	for _, c := range prog.Consts {
+		if _, dup := globals[c.Name]; dup {
+			return errf(c.Pos, "redeclaration of %q", c.Name)
+		}
+		globals[c.Name] = symScalar // folded away by the parser; name reserved
+	}
+	for _, g := range prog.Globals {
+		if _, dup := globals[g.Name]; dup {
+			return errf(g.Pos, "redeclaration of %q", g.Name)
+		}
+		if g.IsArray() {
+			globals[g.Name] = symArray
+		} else {
+			globals[g.Name] = symScalar
+		}
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := globals[f.Name]; dup {
+			return errf(f.Pos, "redeclaration of %q", f.Name)
+		}
+		if _, dup := arity[f.Name]; dup {
+			return errf(f.Pos, "redeclaration of function %q", f.Name)
+		}
+		arity[f.Name] = len(f.Params)
+	}
+	main := prog.Func("main")
+	if main == nil {
+		return errf(Pos{1, 1}, "program has no main function")
+	}
+	if len(main.Params) != 0 {
+		return errf(main.Pos, "main must take no parameters")
+	}
+	for _, f := range prog.Funcs {
+		if err := checkFunc(prog, f, globals, arity); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	prog    *Program
+	globals map[string]symKind
+	arity   map[string]int
+	locals  map[string]symKind
+}
+
+func checkFunc(prog *Program, f *FuncDecl, globals map[string]symKind, arity map[string]int) error {
+	c := &checker{prog: prog, globals: globals, arity: arity, locals: make(map[string]symKind)}
+	for _, param := range f.Params {
+		if _, dup := c.locals[param]; dup {
+			return errf(f.Pos, "duplicate parameter %q in %q", param, f.Name)
+		}
+		c.locals[param] = symScalar
+	}
+	return c.stmt(f.Body)
+}
+
+func (c *checker) lookup(name string) (symKind, bool) {
+	if k, ok := c.locals[name]; ok {
+		return k, true
+	}
+	k, ok := c.globals[name]
+	return k, ok
+}
+
+func (c *checker) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		for _, st := range s.Stmts {
+			if err := c.stmt(st); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *LocalStmt:
+		d := s.Decl
+		if _, dup := c.locals[d.Name]; dup {
+			return errf(d.Pos, "redeclaration of local %q", d.Name)
+		}
+		if _, shadowsFunc := c.arity[d.Name]; shadowsFunc {
+			return errf(d.Pos, "local %q shadows a function", d.Name)
+		}
+		if d.Init != nil {
+			if err := c.expr(d.Init); err != nil {
+				return err
+			}
+		}
+		if d.IsArray() {
+			c.locals[d.Name] = symArray
+		} else {
+			c.locals[d.Name] = symScalar
+		}
+		return nil
+	case *AssignStmt:
+		k, ok := c.lookup(s.Target)
+		if !ok {
+			return errf(s.Pos, "assignment to undeclared %q", s.Target)
+		}
+		if s.Index != nil {
+			if k != symArray {
+				return errf(s.Pos, "%q is not an array", s.Target)
+			}
+			if err := c.expr(s.Index); err != nil {
+				return err
+			}
+		} else if k != symScalar {
+			return errf(s.Pos, "cannot assign whole array %q", s.Target)
+		}
+		return c.expr(s.Value)
+	case *IfStmt:
+		if err := c.expr(s.Cond); err != nil {
+			return err
+		}
+		if err := c.stmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.stmt(s.Else)
+		}
+		return nil
+	case *ForStmt:
+		if s.Init != nil {
+			if err := c.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := c.expr(s.Cond); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := c.stmt(s.Post); err != nil {
+				return err
+			}
+		}
+		return c.stmt(s.Body)
+	case *WhileStmt:
+		if err := c.expr(s.Cond); err != nil {
+			return err
+		}
+		return c.stmt(s.Body)
+	case *ReturnStmt:
+		if s.Value != nil {
+			return c.expr(s.Value)
+		}
+		return nil
+	case *ExprStmt:
+		return c.expr(s.X)
+	default:
+		return fmt.Errorf("behav: unknown statement %T", s)
+	}
+}
+
+func (c *checker) expr(e Expr) error {
+	switch e := e.(type) {
+	case *IntExpr:
+		return nil
+	case *VarExpr:
+		k, ok := c.lookup(e.Name)
+		if !ok {
+			return errf(e.Pos, "use of undeclared %q", e.Name)
+		}
+		if k != symScalar {
+			return errf(e.Pos, "array %q used without index", e.Name)
+		}
+		return nil
+	case *IndexExpr:
+		k, ok := c.lookup(e.Name)
+		if !ok {
+			return errf(e.Pos, "use of undeclared %q", e.Name)
+		}
+		if k != symArray {
+			return errf(e.Pos, "%q is not an array", e.Name)
+		}
+		return c.expr(e.Index)
+	case *CallExpr:
+		want, ok := c.arity[e.Name]
+		if !ok {
+			return errf(e.Pos, "call of undeclared function %q", e.Name)
+		}
+		if len(e.Args) != want {
+			return errf(e.Pos, "function %q takes %d arguments, got %d", e.Name, want, len(e.Args))
+		}
+		for _, a := range e.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *BinExpr:
+		if err := c.expr(e.L); err != nil {
+			return err
+		}
+		return c.expr(e.R)
+	case *UnExpr:
+		return c.expr(e.X)
+	default:
+		return fmt.Errorf("behav: unknown expression %T", e)
+	}
+}

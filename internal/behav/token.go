@@ -1,0 +1,156 @@
+// Package behav implements the behavioral description language that
+// applications ("a self-coded application or an IP core purchased from a
+// vendor", paper §3.5) are written in: a small, C-like, integer-only
+// imperative language with functions, one-dimensional arrays, loops and
+// conditionals.
+//
+// Grammar (EBNF):
+//
+//	Program    = { Decl } .
+//	Decl       = ConstDecl | VarDecl | FuncDecl .
+//	ConstDecl  = "const" ident "=" Expr ";" .            // compile-time constant
+//	VarDecl    = "var" ident [ "[" Expr "]" ] ";" .      // global int or int array
+//	FuncDecl   = "func" ident "(" [ ident {"," ident} ] ")" Block .
+//	Block      = "{" { Stmt } "}" .
+//	Stmt       = LocalDecl | Assign | If | For | While | Return | ExprStmt | Block .
+//	LocalDecl  = "var" ident [ "[" Expr "]" ] [ "=" Expr ] ";" .
+//	Assign     = ident [ "[" Expr "]" ] "=" Expr ";" .
+//	If         = "if" Expr Block [ "else" ( Block | If ) ] .
+//	For        = "for" [ Assign' ] ";" [ Expr ] ";" [ Assign' ] Block .
+//	While      = "while" Expr Block .
+//	Return     = "return" [ Expr ] ";" .
+//	ExprStmt   = Expr ";" .
+//
+// where Assign' is an assignment without the trailing semicolon. All
+// values are 32-bit signed integers; arrays are one-dimensional with
+// compile-time-constant length. Operators follow C precedence:
+// ||, &&, |, ^, &, == !=, < <= > >=, << >>, + -, * / %, unary - ~ !.
+package behav
+
+import "fmt"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	IntLit
+
+	// Keywords.
+	KwConst
+	KwVar
+	KwFunc
+	KwIf
+	KwElse
+	KwFor
+	KwWhile
+	KwReturn
+
+	// Punctuation.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Comma
+	Semicolon
+
+	// Operators.
+	Assign
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Amp
+	Pipe
+	Caret
+	Tilde
+	Not
+	Shl
+	Shr
+	Eq
+	Neq
+	Lt
+	Leq
+	Gt
+	Geq
+	AndAnd
+	OrOr
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", IntLit: "integer",
+	KwConst: "'const'", KwVar: "'var'", KwFunc: "'func'", KwIf: "'if'",
+	KwElse: "'else'", KwFor: "'for'", KwWhile: "'while'", KwReturn: "'return'",
+	LParen: "'('", RParen: "')'", LBrace: "'{'", RBrace: "'}'",
+	LBracket: "'['", RBracket: "']'", Comma: "','", Semicolon: "';'",
+	Assign: "'='", Plus: "'+'", Minus: "'-'", Star: "'*'", Slash: "'/'",
+	Percent: "'%'", Amp: "'&'", Pipe: "'|'", Caret: "'^'", Tilde: "'~'",
+	Not: "'!'", Shl: "'<<'", Shr: "'>>'", Eq: "'=='", Neq: "'!='",
+	Lt: "'<'", Leq: "'<='", Gt: "'>'", Geq: "'>='", AndAnd: "'&&'", OrOr: "'||'",
+}
+
+// String returns a human-readable token kind name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"const":  KwConst,
+	"var":    KwVar,
+	"func":   KwFunc,
+	"if":     KwIf,
+	"else":   KwElse,
+	"for":    KwFor,
+	"while":  KwWhile,
+	"return": KwReturn,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string // identifier name or literal text
+	Val  int32  // value for IntLit
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case IntLit:
+		return fmt.Sprintf("integer %d", t.Val)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a front-end (lexical, syntactic or semantic) error with a
+// source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%v: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,46 @@
+// Package bus models the shared system bus of the paper's Fig. 2a
+// architecture: the µP core, the ASIC core(s), the caches and the main
+// memory all exchange words over it, and every transfer costs energy
+// (E_bus read/write in Fig. 3 step 5 — "read and write operations imply
+// different amounts of energy").
+package bus
+
+import (
+	"lppart/internal/tech"
+	"lppart/internal/units"
+)
+
+// Bus is a shared bus with per-word transfer accounting.
+type Bus struct {
+	T          tech.BusTech
+	ReadWords  int64
+	WriteWords int64
+}
+
+// New returns a bus using the library's bus technology.
+func New(lib *tech.Library) *Bus { return &Bus{T: lib.Bus} }
+
+// Read accounts n words read over the bus.
+func (b *Bus) Read(words int) { b.ReadWords += int64(words) }
+
+// Write accounts n words written over the bus.
+func (b *Bus) Write(words int) { b.WriteWords += int64(words) }
+
+// Energy returns the total transfer energy so far.
+func (b *Bus) Energy() units.Energy {
+	return units.Energy(float64(b.ReadWords))*b.T.EReadWord +
+		units.Energy(float64(b.WriteWords))*b.T.EWriteWord
+}
+
+// TransferEnergy returns the energy of moving n words one way without
+// accounting it — the estimator used by the pre-selection algorithm
+// (Fig. 3) before any partition exists.
+func (b *Bus) TransferEnergy(words int, write bool) units.Energy {
+	if write {
+		return units.Energy(float64(words)) * b.T.EWriteWord
+	}
+	return units.Energy(float64(words)) * b.T.EReadWord
+}
+
+// Reset clears the accounting.
+func (b *Bus) Reset() { b.ReadWords, b.WriteWords = 0, 0 }

@@ -1,0 +1,37 @@
+package bus
+
+import (
+	"testing"
+
+	"lppart/internal/tech"
+	"lppart/internal/units"
+)
+
+func TestBusAccounting(t *testing.T) {
+	b := New(tech.Default())
+	b.Read(10)
+	b.Write(3)
+	if b.ReadWords != 10 || b.WriteWords != 3 {
+		t.Errorf("words %d/%d, want 10/3", b.ReadWords, b.WriteWords)
+	}
+	want := units.Energy(10)*b.T.EReadWord + units.Energy(3)*b.T.EWriteWord
+	if b.Energy() != want {
+		t.Errorf("energy %v, want %v", b.Energy(), want)
+	}
+	b.Reset()
+	if b.Energy() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestTransferEnergyDoesNotAccount(t *testing.T) {
+	b := New(tech.Default())
+	er := b.TransferEnergy(5, false)
+	ew := b.TransferEnergy(5, true)
+	if er <= 0 || ew <= er {
+		t.Errorf("transfer energies read=%v write=%v (write must cost more)", er, ew)
+	}
+	if b.ReadWords != 0 || b.WriteWords != 0 {
+		t.Error("TransferEnergy must not mutate accounting")
+	}
+}

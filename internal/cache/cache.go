@@ -1,0 +1,213 @@
+// Package cache implements the instruction- and data-cache cores with the
+// analytical per-access energy model the paper uses ("analytical models
+// for main memory energy consumption and caches are fed with the output
+// of a cache profiler", §3.5; parameters "of a 0.8µ CMOS process", §4).
+//
+// The simulator is a standard set-associative cache with LRU replacement
+// and, for data caches, write-back/write-allocate. Every access costs an
+// analytical energy (row decode + tag compare per way + data array read +
+// output drive) derived from tech.CacheTech and the geometry; misses
+// additionally refill a full line from main memory over the bus, which is
+// how a different hardware/software partition changes cache AND memory
+// AND bus energy — the whole-system effect Table 1's columns capture.
+package cache
+
+import (
+	"fmt"
+	"math"
+
+	"lppart/internal/bus"
+	"lppart/internal/mem"
+	"lppart/internal/tech"
+	"lppart/internal/units"
+)
+
+// Config is a cache geometry.
+type Config struct {
+	Sets      int // number of sets (power of two)
+	Assoc     int // ways per set
+	LineWords int // 32-bit words per line (power of two)
+	// WriteBack selects write-back/write-allocate (true, the data-cache
+	// default) versus read-only behaviour for instruction caches (writes
+	// are rejected).
+	WriteBack bool
+}
+
+// SizeBytes returns the cache capacity in bytes.
+func (c Config) SizeBytes() int { return c.Sets * c.Assoc * c.LineWords * 4 }
+
+func (c Config) validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache: sets %d must be a positive power of two", c.Sets)
+	}
+	if c.LineWords <= 0 || c.LineWords&(c.LineWords-1) != 0 {
+		return fmt.Errorf("cache: line words %d must be a positive power of two", c.LineWords)
+	}
+	if c.Assoc <= 0 {
+		return fmt.Errorf("cache: associativity %d must be positive", c.Assoc)
+	}
+	return nil
+}
+
+// Stats is the access accounting of a cache core.
+type Stats struct {
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	WriteBacks int64 // dirty lines evicted to memory
+}
+
+// HitRate returns hits/accesses (1 when idle).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 1
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   int32
+	lru   int64
+}
+
+// Cache is one cache core.
+type Cache struct {
+	Name    string
+	Cfg     Config
+	Stats   Stats
+	eAccess units.Energy
+	sets    [][]line
+	backend *mem.Memory
+	bus     *bus.Bus
+	tick    int64
+}
+
+// New builds a cache. backend and b may be nil for a cache simulated in
+// isolation (misses then cost no memory/bus energy, only their stall
+// cycles are skipped).
+func New(name string, cfg Config, ct tech.CacheTech, backend *mem.Memory, b *bus.Bus) (*Cache, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{Name: name, Cfg: cfg, backend: backend, bus: b}
+	c.sets = make([][]line, cfg.Sets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Assoc)
+	}
+	// Analytical access energy from the geometry (see package comment).
+	tagBits := 32 - int(math.Log2(float64(cfg.Sets))) - int(math.Log2(float64(cfg.LineWords))) - 2
+	if tagBits < 1 {
+		tagBits = 1
+	}
+	lineBits := cfg.LineWords * 32
+	c.eAccess = units.Energy(math.Log2(float64(cfg.Sets)))*ct.EDecodePerSetLog2 +
+		units.Energy(float64(tagBits*cfg.Assoc))*ct.ETagBit +
+		units.Energy(float64(lineBits))*ct.EDataBit +
+		ct.EOutputPerWord
+	return c, nil
+}
+
+// AccessEnergy returns the per-access energy of this geometry.
+func (c *Cache) AccessEnergy() units.Energy { return c.eAccess }
+
+// Energy returns the cache core's total array energy so far (misses'
+// memory and bus energy are accounted in those cores, not here).
+func (c *Cache) Energy() units.Energy {
+	return units.Energy(float64(c.Stats.Accesses)) * c.eAccess
+}
+
+// Access performs one word access. addr is a word address. It returns the
+// stall cycles beyond a hit (0 on hit).
+func (c *Cache) Access(addr int32, write bool) (stall int) {
+	if write && !c.Cfg.WriteBack {
+		panic(fmt.Sprintf("cache %s: write to read-only cache", c.Name))
+	}
+	c.tick++
+	c.Stats.Accesses++
+	lineAddr := addr / int32(c.Cfg.LineWords)
+	setIdx := int(lineAddr) & (c.Cfg.Sets - 1)
+	tag := lineAddr / int32(c.Cfg.Sets)
+	set := c.sets[setIdx]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.Stats.Hits++
+			set[i].lru = c.tick
+			if write {
+				set[i].dirty = true
+			}
+			return 0
+		}
+	}
+	// Miss: choose LRU victim, write back if dirty, refill.
+	c.Stats.Misses++
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	stall = 0
+	if set[victim].valid && set[victim].dirty {
+		c.Stats.WriteBacks++
+		if c.backend != nil {
+			stall += c.backend.Write(c.Cfg.LineWords)
+		}
+		if c.bus != nil {
+			c.bus.Write(c.Cfg.LineWords)
+		}
+	}
+	if c.backend != nil {
+		stall += c.backend.Read(c.Cfg.LineWords)
+	}
+	if c.bus != nil {
+		c.bus.Read(c.Cfg.LineWords)
+	}
+	set[victim] = line{valid: true, dirty: write, tag: tag, lru: c.tick}
+	return stall
+}
+
+// Flush writes back all dirty lines (end-of-run accounting) and returns
+// the stall cycles of the write-backs.
+func (c *Cache) Flush() (stall int) {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			l := &c.sets[si][wi]
+			if l.valid && l.dirty {
+				c.Stats.WriteBacks++
+				if c.backend != nil {
+					stall += c.backend.Write(c.Cfg.LineWords)
+				}
+				if c.bus != nil {
+					c.bus.Write(c.Cfg.LineWords)
+				}
+				l.dirty = false
+			}
+		}
+	}
+	return stall
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			c.sets[si][wi] = line{}
+		}
+	}
+	c.Stats = Stats{}
+	c.tick = 0
+}
+
+// DefaultICache is the reference instruction-cache geometry: 2 KiB
+// direct-mapped with 4-word lines, an embedded-class size for the era.
+func DefaultICache() Config { return Config{Sets: 128, Assoc: 1, LineWords: 4} }
+
+// DefaultDCache is the reference data-cache geometry: 2 KiB 2-way with
+// 4-word lines, write-back.
+func DefaultDCache() Config { return Config{Sets: 64, Assoc: 2, LineWords: 4, WriteBack: true} }

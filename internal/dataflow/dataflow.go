@@ -1,0 +1,275 @@
+// Package dataflow computes the gen/use sets the paper's pre-selection
+// algorithm (Fig. 3) is built on: "We use gen[···] and use[···] as it is
+// defined in [16]" (Aho/Sethi/Ullman). For a cluster c,
+//
+//   - use[c] is the set of variables with an upward-exposed use in c
+//     (read on some path before any write inside c) — the data the cluster
+//     consumes from the outside, and
+//   - gen[c] is the set of variables c writes — the data the cluster can
+//     pass to later clusters.
+//
+// Arrays participate as whole variables (a Load contributes the array to
+// use, a Store to gen); their transfer width is their element count, which
+// is what makes the bus-traffic estimate of Fig. 3 meaningful for the
+// data-oriented applications the paper targets.
+package dataflow
+
+import (
+	"sort"
+
+	"lppart/internal/cdfg"
+)
+
+// Key identifies a variable (scalar or array, global or local) in a
+// program-wide namespace.
+type Key struct {
+	Global bool
+	ID     int
+}
+
+// Set is a set of variable keys.
+type Set map[Key]struct{}
+
+// NewSet returns an empty set.
+func NewSet() Set { return make(Set) }
+
+// Add inserts k.
+func (s Set) Add(k Key) { s[k] = struct{}{} }
+
+// Contains reports membership.
+func (s Set) Contains(k Key) bool {
+	_, ok := s[k]
+	return ok
+}
+
+// Union returns a new set with all elements of s and t.
+func (s Set) Union(t Set) Set {
+	u := NewSet()
+	for k := range s {
+		u.Add(k)
+	}
+	for k := range t {
+		u.Add(k)
+	}
+	return u
+}
+
+// Intersect returns a new set with the elements present in both s and t.
+func (s Set) Intersect(t Set) Set {
+	u := NewSet()
+	for k := range s {
+		if t.Contains(k) {
+			u.Add(k)
+		}
+	}
+	return u
+}
+
+// Minus returns a new set with the elements of s not in t.
+func (s Set) Minus(t Set) Set {
+	u := NewSet()
+	for k := range s {
+		if !t.Contains(k) {
+			u.Add(k)
+		}
+	}
+	return u
+}
+
+// Len returns the cardinality.
+func (s Set) Len() int { return len(s) }
+
+// Keys returns the elements in deterministic order (globals first, then by
+// ID).
+func (s Set) Keys() []Key {
+	keys := make([]Key, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Global != keys[j].Global {
+			return keys[i].Global
+		}
+		return keys[i].ID < keys[j].ID
+	})
+	return keys
+}
+
+// Words returns the total transfer width of the set in 32-bit words:
+// 1 per scalar, the element count per array. f resolves local IDs; it may
+// be nil when the set holds only globals.
+func (s Set) Words(p *cdfg.Program, f *cdfg.Function) int {
+	total := 0
+	for k := range s {
+		var v cdfg.Var
+		if k.Global {
+			v = p.Globals[k.ID]
+		} else {
+			v = f.Locals[k.ID]
+		}
+		if v.IsArray() {
+			total += int(v.Len)
+		} else {
+			total++
+		}
+	}
+	return total
+}
+
+// keyOfVar converts a scalar reference.
+func keyOfVar(r cdfg.VarRef) Key { return Key{Global: r.Global, ID: r.ID} }
+
+// keyOfArr converts an array reference.
+func keyOfArr(a cdfg.ArrRef) Key { return Key{Global: a.Global, ID: a.ID} }
+
+// isTemp reports whether the key names a compiler temporary of f.
+func isTemp(k Key, p *cdfg.Program, f *cdfg.Function) bool {
+	if k.Global {
+		return false
+	}
+	return f.Locals[k.ID].Temp
+}
+
+// GenUse computes gen[r] and use[r] for a region. use is block-precise:
+// within each basic block, a read counts only if the variable has not been
+// written earlier in that block (upward-exposed); the per-block sets are
+// then unioned, which is conservative across blocks. Compiler temporaries
+// never escape a statement, so they are excluded from both sets.
+func GenUse(p *cdfg.Program, r *cdfg.Region) (gen, use Set) {
+	gen, use = NewSet(), NewSet()
+	f := r.Func
+	for _, bid := range r.Blocks {
+		b := f.Block(bid)
+		written := NewSet()
+		for i := range b.Ops {
+			op := &b.Ops[i]
+			// Reads first.
+			for _, u := range op.Uses() {
+				k := keyOfVar(u)
+				if !written.Contains(k) && !isTemp(k, p, f) {
+					use.Add(k)
+				}
+			}
+			if op.Code == cdfg.Load {
+				k := keyOfArr(op.Arr)
+				// A store to an array does not kill loads (partial
+				// definition), so array loads are always uses.
+				if !isTemp(k, p, f) {
+					use.Add(k)
+				}
+			}
+			// Then writes.
+			if op.Code == cdfg.Store {
+				k := keyOfArr(op.Arr)
+				if !isTemp(k, p, f) {
+					gen.Add(k)
+				}
+				continue
+			}
+			if d := op.Def(); d.Valid() {
+				k := keyOfVar(d)
+				written.Add(k)
+				if !isTemp(k, p, f) {
+					gen.Add(k)
+				}
+			}
+		}
+	}
+	return gen, use
+}
+
+// FuncEffect summarizes a whole function's reads and writes of globals
+// (locals cannot escape). Used to account for call side effects when a
+// cluster's surroundings include calls.
+func FuncEffect(p *cdfg.Program, f *cdfg.Function) (gen, use Set) {
+	gen, use = GenUse(p, f.Root)
+	gOnly := func(s Set) Set {
+		out := NewSet()
+		for k := range s {
+			if k.Global {
+				out.Add(k)
+			}
+		}
+		return out
+	}
+	return gOnly(gen), gOnly(use)
+}
+
+// Surroundings computes, for a candidate cluster r, the gen set of
+// everything that can execute before it (gen[C_pred] in Fig. 3 step 1) and
+// the use set of everything that can execute after it (use[C_succ] in
+// step 3).
+//
+// The split is textual within the cluster's own function — operations with
+// IDs below the cluster's first op are "before", above its last op are
+// "after" — while other functions are conservatively counted on both
+// sides (their calls may occur before and after), with loop-enclosed
+// clusters additionally seeing their own function's other ops on both
+// sides (the enclosing loop re-executes them around each invocation).
+func Surroundings(p *cdfg.Program, r *cdfg.Region) (genPred, useSucc Set) {
+	genPred, useSucc = NewSet(), NewSet()
+	f := r.Func
+	inCluster := make(map[int]bool)
+	first, last := -1, -1
+	for _, op := range r.Ops() {
+		inCluster[op.ID] = true
+		if first == -1 || op.ID < first {
+			first = op.ID
+		}
+		if op.ID > last {
+			last = op.ID
+		}
+	}
+	enclosedInLoop := false
+	for anc := r.Parent; anc != nil; anc = anc.Parent {
+		if anc.Kind == cdfg.RegionLoop {
+			enclosedInLoop = true
+		}
+	}
+	record := func(op *cdfg.Op, before, after bool) {
+		if op.Code == cdfg.Store {
+			if before {
+				genPred.Add(keyOfArr(op.Arr))
+			}
+		} else if d := op.Def(); d.Valid() && !isTemp(keyOfVar(d), p, f) {
+			if before {
+				genPred.Add(keyOfVar(d))
+			}
+		}
+		if after {
+			for _, u := range op.Uses() {
+				if !isTemp(keyOfVar(u), p, f) {
+					useSucc.Add(keyOfVar(u))
+				}
+			}
+			if op.Code == cdfg.Load {
+				useSucc.Add(keyOfArr(op.Arr))
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Ops {
+			op := &b.Ops[i]
+			if inCluster[op.ID] {
+				continue
+			}
+			before := op.ID < first || enclosedInLoop
+			after := op.ID > last || enclosedInLoop
+			record(op, before, after)
+		}
+	}
+	// Other functions: their global effects may happen on either side.
+	for _, other := range p.Funcs {
+		if other == f {
+			continue
+		}
+		g, u := FuncEffect(p, other)
+		for k := range g {
+			genPred.Add(k)
+		}
+		for k := range u {
+			useSucc.Add(k)
+		}
+	}
+	return genPred, useSucc
+}

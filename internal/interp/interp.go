@@ -1,0 +1,349 @@
+// Package interp executes CDFG programs directly. It serves three roles:
+//
+//  1. Golden reference: the code generator + ISS pipeline must reproduce
+//     its observable results exactly (differential testing).
+//  2. Profiler: it records how often each basic block executes, which is
+//     the "#ex_times" the paper obtains "through profiling" (Fig. 4) and
+//     which weights every control step of a cluster schedule.
+//  3. Activity tracer: it records per-operation operand toggle statistics
+//     (average Hamming distance between consecutive executions), which
+//     drive the gate-level-style switching-energy estimation of the ASIC
+//     core (paper Fig. 1 line 15).
+package interp
+
+import (
+	"fmt"
+	"math/bits"
+
+	"lppart/internal/behav"
+	"lppart/internal/cdfg"
+)
+
+// Options configures a run.
+type Options struct {
+	// MaxSteps aborts runaway programs; 0 means the default (200M ops).
+	MaxSteps int64
+	// MaxDepth bounds the call stack; 0 means the default (1024 frames).
+	MaxDepth int
+	// CollectProfile enables block-frequency and operand-activity
+	// recording.
+	CollectProfile bool
+}
+
+// OpKey identifies an operation program-wide.
+type OpKey struct {
+	Func string
+	OpID int
+}
+
+// OpStat aggregates the activity trace of one operation.
+type OpStat struct {
+	Count int64 // number of executions
+	// toggle accumulation: total bit flips between consecutive operand
+	// values, per operand.
+	togglesA, togglesB int64
+	prevA, prevB       int32
+	seen               bool
+}
+
+// ActivityA returns the average per-execution toggle rate (0..1) of
+// operand A: mean Hamming distance between consecutive values over the
+// 32-bit width. The first execution contributes no toggles.
+func (s *OpStat) ActivityA() float64 { return activity(s.togglesA, s.Count) }
+
+// ActivityB returns the average toggle rate of operand B.
+func (s *OpStat) ActivityB() float64 { return activity(s.togglesB, s.Count) }
+
+func activity(toggles, count int64) float64 {
+	if count <= 1 {
+		return 0
+	}
+	return float64(toggles) / float64(count-1) / 32
+}
+
+// Profile is the result of a profiling run.
+type Profile struct {
+	// BlockFreq[funcName][blockID] is the execution count of the block.
+	BlockFreq map[string][]int64
+	// Ops holds per-operation activity statistics.
+	Ops map[OpKey]*OpStat
+}
+
+// RegionEntries returns how many times the region was entered: the
+// execution count of its entry block. For loops this is the number of
+// times the loop construct was *reached* times its header iterations; use
+// the enclosing block's frequency for invocation counts.
+func (pr *Profile) RegionEntries(r *cdfg.Region) int64 {
+	freq := pr.BlockFreq[r.Func.Name]
+	if freq == nil || r.Entry >= len(freq) {
+		return 0
+	}
+	return freq[r.Entry]
+}
+
+// BlockCount returns the execution count of one block.
+func (pr *Profile) BlockCount(f *cdfg.Function, blockID int) int64 {
+	freq := pr.BlockFreq[f.Name]
+	if freq == nil || blockID >= len(freq) {
+		return 0
+	}
+	return freq[blockID]
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Ret     int32 // main's return value (0 if none)
+	Steps   int64 // executed IR operations
+	Globals map[string][]int32
+	Prof    *Profile // nil unless Options.CollectProfile
+}
+
+// RuntimeError is a trapped execution fault (division by zero, index out
+// of range, limits exceeded) with the source position of the faulting
+// operation.
+type RuntimeError struct {
+	Pos behav.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *RuntimeError) Error() string { return fmt.Sprintf("runtime: %v: %s", e.Pos, e.Msg) }
+
+type machine struct {
+	prog    *cdfg.Program
+	opts    Options
+	globals [][]int32 // index parallel to prog.Globals; scalars are len-1
+	steps   int64
+	prof    *Profile
+	depth   int
+}
+
+// Run executes the program's main function.
+func Run(p *cdfg.Program, opts Options) (*Result, error) {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 200_000_000
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 1024
+	}
+	m := &machine{prog: p, opts: opts}
+	m.globals = make([][]int32, len(p.Globals))
+	for i, g := range p.Globals {
+		n := int32(1)
+		if g.IsArray() {
+			n = g.Len
+		}
+		m.globals[i] = make([]int32, n)
+	}
+	if opts.CollectProfile {
+		m.prof = &Profile{
+			BlockFreq: make(map[string][]int64),
+			Ops:       make(map[OpKey]*OpStat),
+		}
+		for _, f := range p.Funcs {
+			m.prof.BlockFreq[f.Name] = make([]int64, len(f.Blocks))
+		}
+	}
+	main := p.Func("main")
+	if main == nil {
+		return nil, fmt.Errorf("interp: program %s has no main", p.Name)
+	}
+	ret, err := m.call(main, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Ret: ret, Steps: m.steps, Prof: m.prof,
+		Globals: make(map[string][]int32, len(p.Globals))}
+	for i, g := range p.Globals {
+		vals := make([]int32, len(m.globals[i]))
+		copy(vals, m.globals[i])
+		res.Globals[g.Name] = vals
+	}
+	return res, nil
+}
+
+// frame is one function activation.
+type frame struct {
+	fn     *cdfg.Function
+	locals [][]int32
+}
+
+func (m *machine) call(fn *cdfg.Function, args []int32) (int32, error) {
+	m.depth++
+	defer func() { m.depth-- }()
+	if m.depth > m.opts.MaxDepth {
+		return 0, &RuntimeError{Msg: fmt.Sprintf("call depth exceeds %d", m.opts.MaxDepth)}
+	}
+	fr := &frame{fn: fn, locals: make([][]int32, len(fn.Locals))}
+	for i, l := range fn.Locals {
+		n := int32(1)
+		if l.IsArray() {
+			n = l.Len
+		}
+		fr.locals[i] = make([]int32, n)
+	}
+	for i, pid := range fn.Params {
+		fr.locals[pid][0] = args[i]
+	}
+	blockID := fn.Entry
+	for {
+		if m.prof != nil {
+			m.prof.BlockFreq[fn.Name][blockID]++
+		}
+		b := fn.Block(blockID)
+		for i := range b.Ops {
+			op := &b.Ops[i]
+			m.steps++
+			if m.steps > m.opts.MaxSteps {
+				return 0, &RuntimeError{Pos: op.Pos, Msg: fmt.Sprintf("step limit %d exceeded", m.opts.MaxSteps)}
+			}
+			next, ret, done, err := m.exec(fr, op)
+			if err != nil {
+				return 0, err
+			}
+			if done {
+				return ret, nil
+			}
+			if next >= 0 {
+				blockID = next
+				break
+			}
+		}
+	}
+}
+
+func (m *machine) slot(fr *frame, r cdfg.VarRef) *int32 {
+	if r.Global {
+		return &m.globals[r.ID][0]
+	}
+	return &fr.locals[r.ID][0]
+}
+
+func (m *machine) array(fr *frame, a cdfg.ArrRef) []int32 {
+	if a.Global {
+		return m.globals[a.ID]
+	}
+	return fr.locals[a.ID]
+}
+
+func (m *machine) operand(fr *frame, o cdfg.Operand) int32 {
+	if o.IsConst {
+		return o.K
+	}
+	return *m.slot(fr, o.Ref)
+}
+
+// record updates the activity trace of op with this execution's operand
+// values.
+func (m *machine) record(fr *frame, op *cdfg.Op, a, b int32) {
+	if m.prof == nil {
+		return
+	}
+	key := OpKey{Func: fr.fn.Name, OpID: op.ID}
+	st := m.prof.Ops[key]
+	if st == nil {
+		st = &OpStat{}
+		m.prof.Ops[key] = st
+	}
+	if st.seen {
+		st.togglesA += int64(bits.OnesCount32(uint32(st.prevA ^ a)))
+		st.togglesB += int64(bits.OnesCount32(uint32(st.prevB ^ b)))
+	}
+	st.prevA, st.prevB, st.seen = a, b, true
+	st.Count++
+}
+
+// exec runs one operation. It returns the next block ID (or -1 to
+// continue), and done/ret when the function returns.
+func (m *machine) exec(fr *frame, op *cdfg.Op) (next int, ret int32, done bool, err error) {
+	next = -1
+	switch {
+	case op.Code == cdfg.Nop:
+	case op.Code == cdfg.ConstOp:
+		*m.slot(fr, op.Dst) = op.Imm
+		m.record(fr, op, op.Imm, 0)
+	case op.Code == cdfg.Copy:
+		v := m.operand(fr, op.A)
+		*m.slot(fr, op.Dst) = v
+		m.record(fr, op, v, 0)
+	case op.Code.IsBinary():
+		a := m.operand(fr, op.A)
+		b := m.operand(fr, op.B)
+		m.record(fr, op, a, b)
+		v, evalErr := behav.EvalBinOp(cdfg.BehavBinOp(op.Code), a, b)
+		if evalErr != nil {
+			return 0, 0, false, &RuntimeError{Pos: op.Pos, Msg: evalErr.Error()}
+		}
+		*m.slot(fr, op.Dst) = v
+	case op.Code == cdfg.Neg:
+		v := m.operand(fr, op.A)
+		m.record(fr, op, v, 0)
+		*m.slot(fr, op.Dst) = -v
+	case op.Code == cdfg.Not:
+		v := m.operand(fr, op.A)
+		m.record(fr, op, v, 0)
+		*m.slot(fr, op.Dst) = ^v
+	case op.Code == cdfg.LNot:
+		v := m.operand(fr, op.A)
+		m.record(fr, op, v, 0)
+		if v == 0 {
+			*m.slot(fr, op.Dst) = 1
+		} else {
+			*m.slot(fr, op.Dst) = 0
+		}
+	case op.Code == cdfg.Load:
+		idx := m.operand(fr, op.A)
+		arr := m.array(fr, op.Arr)
+		if idx < 0 || int(idx) >= len(arr) {
+			return 0, 0, false, &RuntimeError{Pos: op.Pos,
+				Msg: fmt.Sprintf("index %d out of range [0,%d) of %s", idx, len(arr), m.prog.ArrName(fr.fn, op.Arr))}
+		}
+		v := arr[idx]
+		m.record(fr, op, idx, v)
+		*m.slot(fr, op.Dst) = v
+	case op.Code == cdfg.Store:
+		idx := m.operand(fr, op.A)
+		val := m.operand(fr, op.B)
+		arr := m.array(fr, op.Arr)
+		if idx < 0 || int(idx) >= len(arr) {
+			return 0, 0, false, &RuntimeError{Pos: op.Pos,
+				Msg: fmt.Sprintf("index %d out of range [0,%d) of %s", idx, len(arr), m.prog.ArrName(fr.fn, op.Arr))}
+		}
+		m.record(fr, op, idx, val)
+		arr[idx] = val
+	case op.Code == cdfg.Call:
+		callee := m.prog.Func(op.Callee)
+		if callee == nil {
+			return 0, 0, false, &RuntimeError{Pos: op.Pos, Msg: fmt.Sprintf("unknown function %q", op.Callee)}
+		}
+		args := make([]int32, len(op.Args))
+		for i, a := range op.Args {
+			args[i] = m.operand(fr, a)
+		}
+		v, callErr := m.call(callee, args)
+		if callErr != nil {
+			return 0, 0, false, callErr
+		}
+		if op.Dst.Valid() {
+			*m.slot(fr, op.Dst) = v
+		}
+	case op.Code == cdfg.Ret:
+		if op.A.Valid() {
+			return -1, m.operand(fr, op.A), true, nil
+		}
+		return -1, 0, true, nil
+	case op.Code == cdfg.Br:
+		next = op.Target
+	case op.Code == cdfg.CBr:
+		v := m.operand(fr, op.A)
+		m.record(fr, op, v, 0)
+		if v != 0 {
+			next = op.Then
+		} else {
+			next = op.Else
+		}
+	default:
+		return 0, 0, false, &RuntimeError{Pos: op.Pos, Msg: fmt.Sprintf("unimplemented opcode %v", op.Code)}
+	}
+	return next, 0, false, nil
+}

@@ -1,0 +1,326 @@
+// Package iss is the instruction-set simulator with attached energy
+// calculation ("an instruction set simulator tool (ISS) is used ...
+// attached to the ISS is the facility to calculate the energy consumption
+// depending on the instruction executed at a point in time (the same
+// methodology as in [12])", paper §3.5).
+//
+// The simulator executes isa.Programs cycle- and energy-accurately at the
+// instruction level: each instruction contributes its class base energy
+// plus a circuit-state overhead when the class changes (Tiwari's model),
+// and occupies the core for its class cycle count plus whatever extra
+// cycles the memory system reports (cache misses). Memory *content* is
+// owned by the ISS; the MemSystem callback only models timing and energy
+// of the storage hierarchy, keeping the cache/memory cores cleanly
+// separated as in the paper's design flow.
+//
+// The ISS also measures, per instruction class, which core-internal
+// resources are actively used (tech.MicroprocessorSpec.Uses), yielding the
+// µP-side utilization rate U_µP of Eq. 1/4 — both for the whole run and
+// per cluster (instructions are tagged with their source region), which is
+// what Fig. 1 line 9 compares against a candidate ASIC implementation.
+//
+// When the program was compiled with excluded clusters, the ASIC
+// instruction transfers control to an ASICHandler: the µP core is shut
+// down while the ASIC core runs (Eq. 3's "whenever one of the cores is
+// performing, all the other cores are shut down"), so ASIC cycles extend
+// execution time but add no µP energy.
+package iss
+
+import (
+	"fmt"
+
+	"lppart/internal/behav"
+	"lppart/internal/isa"
+	"lppart/internal/tech"
+	"lppart/internal/units"
+)
+
+// MemSystem models the timing and energy of instruction fetches and data
+// accesses (caches + main memory). Implementations accumulate their own
+// energy; the ISS only consumes the extra cycles.
+type MemSystem interface {
+	// FetchInstr is called once per executed instruction with its byte
+	// address; it returns extra stall cycles (0 on a cache hit).
+	FetchInstr(byteAddr uint32) (stallCycles int)
+	// ReadData/WriteData are called for LD/ST with the word address.
+	ReadData(wordAddr int32) (stallCycles int)
+	WriteData(wordAddr int32) (stallCycles int)
+}
+
+// ASICHandler runs an ASIC core invocation on behalf of the rendezvous
+// instruction. It returns the cycles the ASIC needed (in µP clock cycles,
+// for execution-time accounting); energy is accounted inside the handler.
+// The handler may read and write the shared memory.
+type ASICHandler interface {
+	RunASIC(id int32, mem []int32) (cycles int64, err error)
+}
+
+// Options configures a simulation.
+type Options struct {
+	// Micro is the µP core model; nil selects tech.Default().Micro.
+	Micro *tech.MicroprocessorSpec
+	// Mem models the storage hierarchy; nil means an ideal single-cycle
+	// memory (no stalls, no extra energy).
+	Mem MemSystem
+	// ASIC handles rendezvous instructions; required only when the
+	// program contains them.
+	ASIC ASICHandler
+	// MaxInstrs aborts runaway programs (default 500M).
+	MaxInstrs int64
+}
+
+// RegionStat aggregates per-cluster statistics (keyed by cdfg region ID).
+type RegionStat struct {
+	Instrs int64
+	Cycles int64
+	Energy units.Energy
+	// Active[k] counts cycles resource kind k was actively used while
+	// executing this region's instructions (numerator of Eq. 1).
+	Active [tech.NumResourceKinds]int64
+}
+
+// Utilization returns U_µP for the region per Eq. 4: the mean over the
+// core's resource inventory of per-resource active-cycle ratios.
+func (rs *RegionStat) Utilization(m *tech.MicroprocessorSpec) float64 {
+	return utilization(m, rs.Active, rs.Cycles)
+}
+
+func utilization(m *tech.MicroprocessorSpec, active [tech.NumResourceKinds]int64, cycles int64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	sum, n := 0.0, 0
+	for k := tech.ResourceKind(0); k < tech.NumResourceKinds; k++ {
+		inventory := m.CoreResources[k]
+		if inventory == 0 {
+			continue
+		}
+		n += inventory
+		u := float64(active[k]) / float64(cycles)
+		if u > 1 {
+			u = 1
+		}
+		sum += u // remaining (inventory-1) instances contribute 0
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	RV     int32 // r1 at halt (main's return value)
+	Instrs int64
+	// Cycles is µP busy time; ASICCycles is time spent with the µP shut
+	// down while ASIC cores ran. Total execution time is the sum.
+	Cycles     int64
+	ASICCycles int64
+	// Energy is the µP core's energy only (caches/memory/bus/ASIC are
+	// accounted in their own models).
+	Energy   units.Energy
+	PerClass [tech.NumInstrClasses]int64
+	Active   [tech.NumResourceKinds]int64
+	// Regions holds per-cluster statistics, keyed by cdfg region ID
+	// (-1 collects untagged instructions).
+	Regions map[int]*RegionStat
+	// Mem is the final data memory (owned by the caller after Run).
+	Mem []int32
+}
+
+// Utilization returns the whole-run U_µP.
+func (r *Result) Utilization(m *tech.MicroprocessorSpec) float64 {
+	return utilization(m, r.Active, r.Cycles)
+}
+
+// TotalCycles returns µP plus ASIC cycles — the Table 1 "total" column.
+func (r *Result) TotalCycles() int64 { return r.Cycles + r.ASICCycles }
+
+// SimError is a simulation fault.
+type SimError struct {
+	PC  int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SimError) Error() string { return fmt.Sprintf("iss: pc=%d: %s", e.PC, e.Msg) }
+
+// classOf maps machine opcodes to the energy model's instruction classes.
+func classOf(op isa.Opcode) tech.InstrClass {
+	switch op {
+	case isa.LI, isa.MOV:
+		return tech.IClassMove
+	case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
+		isa.CMPEQ, isa.CMPNE, isa.CMPLT, isa.CMPLE, isa.CMPGT, isa.CMPGE,
+		isa.NEG, isa.NOT:
+		return tech.IClassALU
+	case isa.SLL, isa.SRA:
+		return tech.IClassShift
+	case isa.MUL:
+		return tech.IClassMul
+	case isa.DIV, isa.REM:
+		return tech.IClassDiv
+	case isa.LD:
+		return tech.IClassLoad
+	case isa.ST:
+		return tech.IClassStore
+	case isa.B, isa.BEQZ, isa.BNEZ, isa.JR:
+		return tech.IClassBranch
+	case isa.CALL:
+		return tech.IClassCall
+	default: // NOP, HALT
+		return tech.IClassNop
+	}
+}
+
+var issToBinOp = map[isa.Opcode]behav.BinOp{
+	isa.ADD: behav.OpAdd, isa.SUB: behav.OpSub, isa.MUL: behav.OpMul,
+	isa.DIV: behav.OpDiv, isa.REM: behav.OpRem,
+	isa.AND: behav.OpAnd, isa.OR: behav.OpOr, isa.XOR: behav.OpXor,
+	isa.SLL: behav.OpShl, isa.SRA: behav.OpShr,
+	isa.CMPEQ: behav.OpEq, isa.CMPNE: behav.OpNeq, isa.CMPLT: behav.OpLt,
+	isa.CMPLE: behav.OpLeq, isa.CMPGT: behav.OpGt, isa.CMPGE: behav.OpGeq,
+}
+
+// Run simulates the program to completion (HALT).
+func Run(p *isa.Program, opts Options) (*Result, error) {
+	micro := opts.Micro
+	if micro == nil {
+		micro = &tech.Default().Micro
+	}
+	maxInstrs := opts.MaxInstrs
+	if maxInstrs == 0 {
+		maxInstrs = 500_000_000
+	}
+	mem := make([]int32, p.MemWords)
+	var regs [isa.NumRegs]int32
+	regs[isa.SP] = int32(p.MemWords)
+
+	res := &Result{Regions: make(map[int]*RegionStat), Mem: mem}
+	regionStat := func(id int) *RegionStat {
+		s := res.Regions[id]
+		if s == nil {
+			s = &RegionStat{}
+			res.Regions[id] = s
+		}
+		return s
+	}
+
+	pc := p.Entry
+	prevClass := tech.IClassNop
+	for {
+		if pc < 0 || pc >= len(p.Code) {
+			return nil, &SimError{PC: pc, Msg: "pc out of range"}
+		}
+		ins := &p.Code[pc]
+		if res.Instrs >= maxInstrs {
+			return nil, &SimError{PC: pc, Msg: fmt.Sprintf("instruction limit %d exceeded", maxInstrs)}
+		}
+
+		if ins.Op == isa.HALT {
+			res.RV = regs[isa.RV]
+			return res, nil
+		}
+		if ins.Op == isa.ASIC {
+			if opts.ASIC == nil {
+				return nil, &SimError{PC: pc, Msg: "ASIC instruction without handler"}
+			}
+			// The rendezvous itself costs one µP cycle (trigger write);
+			// then the µP shuts down for the ASIC's duration.
+			res.Instrs++
+			res.Cycles++
+			cyc, err := opts.ASIC.RunASIC(ins.Imm, mem)
+			if err != nil {
+				return nil, &SimError{PC: pc, Msg: fmt.Sprintf("ASIC core %d: %v", ins.Imm, err)}
+			}
+			res.ASICCycles += cyc
+			pc++
+			continue
+		}
+
+		res.Instrs++
+		class := classOf(ins.Op)
+		res.PerClass[class]++
+		cycles := int64(micro.CyclesFor[class])
+		if opts.Mem != nil {
+			cycles += int64(opts.Mem.FetchInstr(isa.ByteAddr(pc)))
+		}
+		energy := micro.InstrEnergy(prevClass, class)
+		prevClass = class
+
+		next := pc + 1
+		switch ins.Op {
+		case isa.NOP:
+		case isa.LI:
+			regs[ins.Rd] = ins.Imm
+		case isa.MOV:
+			regs[ins.Rd] = regs[ins.Rs1]
+		case isa.NEG:
+			regs[ins.Rd] = -regs[ins.Rs1]
+		case isa.NOT:
+			regs[ins.Rd] = ^regs[ins.Rs1]
+		case isa.LD:
+			addr := regs[ins.Rs1] + ins.Imm
+			if addr < 0 || int(addr) >= len(mem) {
+				return nil, &SimError{PC: pc, Msg: fmt.Sprintf("load address %d out of range", addr)}
+			}
+			if opts.Mem != nil {
+				cycles += int64(opts.Mem.ReadData(addr))
+			}
+			regs[ins.Rd] = mem[addr]
+		case isa.ST:
+			addr := regs[ins.Rs1] + ins.Imm
+			if addr < 0 || int(addr) >= len(mem) {
+				return nil, &SimError{PC: pc, Msg: fmt.Sprintf("store address %d out of range", addr)}
+			}
+			if opts.Mem != nil {
+				cycles += int64(opts.Mem.WriteData(addr))
+			}
+			mem[addr] = regs[ins.Rs2]
+		case isa.B:
+			next = ins.Target
+		case isa.BEQZ:
+			if regs[ins.Rs1] == 0 {
+				next = ins.Target
+			}
+		case isa.BNEZ:
+			if regs[ins.Rs1] != 0 {
+				next = ins.Target
+			}
+		case isa.CALL:
+			regs[isa.RA] = int32(pc + 1)
+			next = ins.Target
+		case isa.JR:
+			next = int(regs[ins.Rs1])
+		default:
+			if !ins.Op.IsBinaryALU() {
+				return nil, &SimError{PC: pc, Msg: fmt.Sprintf("unimplemented opcode %v", ins.Op)}
+			}
+			b := regs[ins.Rs2]
+			if ins.UseImm {
+				b = ins.Imm
+			}
+			v, err := behav.EvalBinOp(issToBinOp[ins.Op], regs[ins.Rs1], b)
+			if err != nil {
+				return nil, &SimError{PC: pc, Msg: err.Error()}
+			}
+			regs[ins.Rd] = v
+		}
+		regs[isa.Zero] = 0 // r0 stays hardwired
+
+		res.Cycles += cycles
+		res.Energy += energy
+		for _, k := range micro.Uses[class] {
+			res.Active[k] += int64(micro.CyclesFor[class])
+		}
+		st := regionStat(ins.Region)
+		st.Instrs++
+		st.Cycles += cycles
+		st.Energy += energy
+		for _, k := range micro.Uses[class] {
+			st.Active[k] += int64(micro.CyclesFor[class])
+		}
+
+		pc = next
+	}
+}

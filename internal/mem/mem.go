@@ -1,0 +1,42 @@
+// Package mem models the main-memory core of the system ("analytical
+// models for main memory energy consumption", paper §3.5). The model is
+// per-access: each word read or written costs a fixed energy and latency
+// taken from the technology library; the system's Table 1 "mem" column is
+// this core's accumulated energy.
+package mem
+
+import (
+	"lppart/internal/tech"
+	"lppart/internal/units"
+)
+
+// Memory is a main-memory core with access accounting.
+type Memory struct {
+	T      tech.MemoryTech
+	Reads  int64 // words read
+	Writes int64 // words written
+}
+
+// New returns a memory core using the library's memory technology.
+func New(lib *tech.Library) *Memory { return &Memory{T: lib.Memory} }
+
+// Read accounts n words read and returns the stall cycles incurred.
+func (m *Memory) Read(words int) (cycles int) {
+	m.Reads += int64(words)
+	return m.T.LatencyCycles * words
+}
+
+// Write accounts n words written and returns the stall cycles incurred.
+func (m *Memory) Write(words int) (cycles int) {
+	m.Writes += int64(words)
+	return m.T.LatencyCycles * words
+}
+
+// Energy returns the total energy dissipated so far.
+func (m *Memory) Energy() units.Energy {
+	return units.Energy(float64(m.Reads))*m.T.EReadWord +
+		units.Energy(float64(m.Writes))*m.T.EWriteWord
+}
+
+// Reset clears the accounting.
+func (m *Memory) Reset() { m.Reads, m.Writes = 0, 0 }

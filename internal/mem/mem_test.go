@@ -1,0 +1,40 @@
+package mem
+
+import (
+	"testing"
+
+	"lppart/internal/tech"
+	"lppart/internal/units"
+)
+
+func TestMemoryAccounting(t *testing.T) {
+	m := New(tech.Default())
+	c1 := m.Read(4)
+	c2 := m.Write(2)
+	if m.Reads != 4 || m.Writes != 2 {
+		t.Errorf("reads=%d writes=%d, want 4/2", m.Reads, m.Writes)
+	}
+	if c1 != 4*m.T.LatencyCycles || c2 != 2*m.T.LatencyCycles {
+		t.Errorf("cycles %d/%d, want latency*words", c1, c2)
+	}
+	want := units.Energy(4)*m.T.EReadWord + units.Energy(2)*m.T.EWriteWord
+	if m.Energy() != want {
+		t.Errorf("energy %v, want %v", m.Energy(), want)
+	}
+	m.Reset()
+	if m.Reads != 0 || m.Writes != 0 || m.Energy() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestMemoryEnergyMonotone(t *testing.T) {
+	m := New(tech.Default())
+	prev := m.Energy()
+	for i := 0; i < 10; i++ {
+		m.Read(1)
+		if m.Energy() <= prev {
+			t.Fatal("energy must grow with accesses")
+		}
+		prev = m.Energy()
+	}
+}

@@ -1,0 +1,535 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lppart/internal/asic"
+	"lppart/internal/cdfg"
+	"lppart/internal/interp"
+	"lppart/internal/iss"
+	"lppart/internal/sched"
+	"lppart/internal/tech"
+	"lppart/internal/units"
+)
+
+// Config is the designer's interaction surface (paper §3.5: "the designer
+// does have manifold possibilities of interaction like defining several
+// sets of resources, defining constraints like the total number of
+// clusters to be selected or to modify the objective function").
+type Config struct {
+	Lib *tech.Library
+	// ResourceSets are the designer-supplied hardware budgets (Fig. 1
+	// line 7); nil selects tech.DefaultResourceSets().
+	ResourceSets []tech.ResourceSet
+	// MaxClusters is N_max^c, the pre-selection budget (Fig. 1 line 5).
+	// 0 means 5.
+	MaxClusters int
+	// MaxCores extends the paper's single-ASIC experiments to multiple
+	// application-specific cores (Eq. 3 is stated for N cores): a greedy
+	// sequence of Fig. 1 passes, each excluding clusters that overlap
+	// earlier choices and applying Fig. 3's synergy discounts (steps 2/4)
+	// when a neighbouring sibling cluster is already in hardware.
+	// 0 means 1.
+	MaxCores int
+	// F balances the objective function between energy and the other
+	// design constraints (Fig. 1 line 13). 0 means 1.0.
+	F float64
+	// GEQBudget rejects clusters whose core exceeds this many cells
+	// (the paper's "less than 16k cells" working bound). 0 means 16000.
+	GEQBudget int
+	// HardwareWeight and TimeWeight are the non-energy terms of the
+	// objective function (the "+ ..." of Fig. 1 line 13): hardware cost
+	// normalized to GEQBudget, and any execution-time *increase* as a
+	// fraction of the initial time. Negative means default (0.25, 1.0).
+	HardwareWeight float64
+	TimeWeight     float64
+	// MemPorts is the ASIC local-buffer port count for scheduling.
+	MemPorts int
+	// WeightedU switches Eq. 4 to size-weighted utilization (ablation
+	// A4; the paper argues and we verify it does not change partitions).
+	WeightedU bool
+}
+
+func (c *Config) defaults() {
+	if c.Lib == nil {
+		c.Lib = tech.Default()
+	}
+	if c.ResourceSets == nil {
+		c.ResourceSets = tech.DefaultResourceSets()
+	}
+	if c.MaxClusters == 0 {
+		c.MaxClusters = 5
+	}
+	if c.MaxCores == 0 {
+		c.MaxCores = 1
+	}
+	if c.F == 0 {
+		c.F = 1.0
+	}
+	if c.GEQBudget == 0 {
+		c.GEQBudget = 16000
+	}
+	if c.HardwareWeight <= 0 {
+		c.HardwareWeight = 0.05
+	}
+	if c.TimeWeight < 0 {
+		c.TimeWeight = 1.0
+	} else if c.TimeWeight == 0 {
+		c.TimeWeight = 1.0
+	}
+}
+
+// Baseline carries the measured initial (all-software) design the
+// candidates are judged against. The system package produces it.
+type Baseline struct {
+	// TotalEnergy is E_0: the whole system's initial energy (µP +
+	// caches + memory + bus).
+	TotalEnergy units.Energy
+	// MuPEnergy is the µP core's share.
+	MuPEnergy units.Energy
+	// RestEnergy is E_rest: caches + memory + bus.
+	RestEnergy units.Energy
+	// TotalCycles is the initial execution time.
+	TotalCycles int64
+	// Regions holds the ISS's per-cluster statistics of the initial run.
+	Regions map[int]*iss.RegionStat
+	// Micro is the µP model the baseline was measured with.
+	Micro *tech.MicroprocessorSpec
+	// ICacheAccessEnergy is the per-fetch energy of the instruction
+	// cache; moving a cluster to hardware saves one fetch per removed
+	// instruction, which the objective function estimates with it.
+	ICacheAccessEnergy units.Energy
+}
+
+// cumulative aggregates per-region ISS statistics over each region and all
+// of its descendants: E_µP,c_i of Fig. 1 line 12 is the energy of *every*
+// instruction in the cluster, nested subclusters included (the ISS tags
+// instructions with their innermost region only).
+func cumulative(p *cdfg.Program, flat map[int]*iss.RegionStat) map[int]*iss.RegionStat {
+	out := make(map[int]*iss.RegionStat)
+	for _, r := range p.Regions() {
+		agg := &iss.RegionStat{}
+		r.Walk(func(x *cdfg.Region) {
+			s := flat[x.ID]
+			if s == nil {
+				return
+			}
+			agg.Instrs += s.Instrs
+			agg.Cycles += s.Cycles
+			agg.Energy += s.Energy
+			for k := range agg.Active {
+				agg.Active[k] += s.Active[k]
+			}
+		})
+		out[r.ID] = agg
+	}
+	return out
+}
+
+// SetEval is the evaluation of one (cluster, resource set) pair —
+// one iteration of Fig. 1 lines 8-13.
+type SetEval struct {
+	RS      *tech.ResourceSet
+	Err     error // non-nil when the set cannot execute the cluster
+	Binding *asic.Binding
+	UASIC   float64 // U_R^core of the candidate ASIC implementation
+	UMuP    float64 // U_µP^core measured while the µP ran this cluster
+	// EASIC is the utilization-based ASIC energy estimate plus transfer
+	// energy; EMuPSaved is the µP energy the cluster currently costs.
+	EASIC     units.Energy
+	EMuPSaved units.Energy
+	// EstCycles is the estimated post-partition execution time.
+	EstCycles int64
+	GEQ       int
+	OF        float64
+	Eligible  bool
+	Reason    string // why ineligible, for the decision trail
+}
+
+// Candidate is the decision trail of one cluster.
+type Candidate struct {
+	Region      *cdfg.Region
+	Traffic     Traffic
+	MuP         *iss.RegionStat
+	Invocations int64
+	Score       float64 // pre-selection ranking score
+	Preselected bool
+	SkipReason  string // why it never became a candidate
+	Evals       []*SetEval
+}
+
+// Choice is the selected partition.
+type Choice struct {
+	Region  *cdfg.Region
+	RS      *tech.ResourceSet
+	Binding *asic.Binding
+	Eval    *SetEval
+}
+
+// Decision is the complete outcome of the partitioning process, including
+// the decision trail for every cluster considered.
+type Decision struct {
+	// Chosen is the first (best) selected implementation, nil when no
+	// partition beats the initial design.
+	Chosen *Choice
+	// Choices lists every selected cluster when Config.MaxCores > 1
+	// (Chosen is Choices[0]).
+	Choices    []*Choice
+	BaselineOF float64
+	Candidates []*Candidate
+}
+
+// Partition runs the Fig. 1 process over the program: decompose into
+// clusters (the region tree), estimate bus traffic (Fig. 3), pre-select,
+// schedule + bind (Fig. 4 via internal/asic) per resource set, evaluate
+// the objective function and pick the best implementation.
+func Partition(p *cdfg.Program, prof *interp.Profile, base *Baseline, cfg Config) (*Decision, error) {
+	cfg.defaults()
+	if prof == nil || base == nil {
+		return nil, fmt.Errorf("partition: profile and baseline are required")
+	}
+	dec := &Decision{BaselineOF: cfg.F}
+	cum := cumulative(p, base.Regions)
+
+	// Steps 1-2: G = {V,E} and cluster decomposition are the cdfg region
+	// tree. Enumerate candidates with their eligibility.
+	for _, r := range p.Regions() {
+		c := &Candidate{Region: r}
+		dec.Candidates = append(dec.Candidates, c)
+		if reason := ineligible(p, prof, r); reason != "" {
+			c.SkipReason = reason
+			continue
+		}
+		prev, next := siblings(r)
+		// Steps 3-4: bus transfer energy (Fig. 3).
+		c.Traffic = EstimateTraffic(p, r, prev, next, cfg.Lib)
+		c.MuP = cum[r.ID]
+		c.Invocations = invocationsOf(prof, r)
+		if c.MuP == nil || c.MuP.Instrs == 0 {
+			c.SkipReason = "cluster never executed on the µP"
+			continue
+		}
+		// Pre-selection score: expected gross win = µP energy spent in
+		// the cluster minus the bus-transfer energy it would add.
+		perInvocationTransfers := c.Traffic.Energy
+		c.Score = float64(c.MuP.Energy) - float64(perInvocationTransfers)*float64(c.Invocations)
+	}
+
+	// Step 5: pre-select the N_max^c most promising clusters.
+	var pool []*Candidate
+	for _, c := range dec.Candidates {
+		if c.SkipReason == "" {
+			pool = append(pool, c)
+		}
+	}
+	sort.Slice(pool, func(i, j int) bool {
+		if pool[i].Score != pool[j].Score {
+			return pool[i].Score > pool[j].Score
+		}
+		return pool[i].Region.ID < pool[j].Region.ID
+	})
+	if len(pool) > cfg.MaxClusters {
+		for _, c := range pool[cfg.MaxClusters:] {
+			c.SkipReason = fmt.Sprintf("pre-selection: below top %d by bus-traffic score", cfg.MaxClusters)
+		}
+		pool = pool[:cfg.MaxClusters]
+	}
+	for _, c := range pool {
+		c.Preselected = true
+	}
+
+	// Steps 6-13, run greedily for up to MaxCores rounds: evaluate each
+	// remaining pre-selected cluster on each resource set, keep the
+	// minimum-OF implementation if it beats staying all-software (whose
+	// objective value is F·E_0/E_0 = F), then repeat with the baseline
+	// shifted by the accepted cluster and the synergy discounts enabled
+	// for its siblings.
+	round := *base
+	inHW := make(map[int]bool) // region IDs already in hardware
+	for core := 0; core < cfg.MaxCores; core++ {
+		var best *Choice
+		for _, c := range pool {
+			if overlapsChosen(c.Region, inHW, p) {
+				continue
+			}
+			prev, next := siblings(c.Region)
+			prevHW := prev != nil && inHW[prev.ID]
+			nextHW := next != nil && inHW[next.ID]
+			var evs []*SetEval
+			for si := range cfg.ResourceSets {
+				rs := &cfg.ResourceSets[si]
+				ev := evaluate(p, prof, &round, cfg, c, rs, prevHW, nextHW)
+				evs = append(evs, ev)
+				if !ev.Eligible {
+					continue
+				}
+				if best == nil || ev.OF < best.Eval.OF {
+					best = &Choice{Region: c.Region, RS: rs, Binding: ev.Binding, Eval: ev}
+				}
+			}
+			if core == 0 {
+				c.Evals = evs // the trail shows the first round
+			}
+		}
+		if best == nil || best.Eval.OF >= dec.BaselineOF {
+			break
+		}
+		dec.Choices = append(dec.Choices, best)
+		inHW[best.Region.ID] = true
+		// Shift the running baseline: the accepted cluster's µP share is
+		// gone, replaced by its estimated hardware energy and time.
+		round.MuPEnergy -= best.Eval.EMuPSaved
+		if round.MuPEnergy < 0 {
+			round.MuPEnergy = 0
+		}
+		round.TotalCycles = best.Eval.EstCycles
+	}
+	if len(dec.Choices) > 0 {
+		dec.Chosen = dec.Choices[0]
+	}
+	return dec, nil
+}
+
+// overlapsChosen reports whether r shares blocks with any already-chosen
+// region (nested or identical clusters cannot both move to hardware).
+func overlapsChosen(r *cdfg.Region, inHW map[int]bool, p *cdfg.Program) bool {
+	if len(inHW) == 0 {
+		return false
+	}
+	for _, other := range p.Regions() {
+		if !inHW[other.ID] || other.Func != r.Func {
+			continue
+		}
+		blocks := make(map[int]bool, len(other.Blocks))
+		for _, b := range other.Blocks {
+			blocks[b] = true
+		}
+		for _, b := range r.Blocks {
+			if blocks[b] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ineligible explains why a region cannot be moved to an ASIC core.
+func ineligible(p *cdfg.Program, prof *interp.Profile, r *cdfg.Region) string {
+	if r.HasCalls() {
+		return "contains calls into software"
+	}
+	if r.HasReturns() {
+		return "contains returns (multiple exits)"
+	}
+	hasDatapath := false
+	for _, op := range r.Ops() {
+		if cl, ok := op.Code.Class(); ok && cl != tech.OpMemory {
+			hasDatapath = true
+			break
+		}
+	}
+	if !hasDatapath {
+		return "no datapath operations"
+	}
+	if prof.RegionEntries(r) == 0 {
+		return "never executed in the profiling run"
+	}
+	return ""
+}
+
+// invocationsOf estimates how many times the cluster is invoked (entered
+// from outside): the execution count of its unique exit block, which runs
+// once per completed invocation.
+func invocationsOf(prof *interp.Profile, r *cdfg.Region) int64 {
+	inside := make(map[int]bool, len(r.Blocks))
+	for _, bid := range r.Blocks {
+		inside[bid] = true
+	}
+	for _, bid := range r.Blocks {
+		for _, s := range r.Func.Block(bid).Succs() {
+			if !inside[s] {
+				return prof.BlockCount(r.Func, s)
+			}
+		}
+	}
+	return prof.RegionEntries(r)
+}
+
+// evaluate runs Fig. 1 lines 8-13 for one (cluster, resource set) pair.
+// prevHW/nextHW enable Fig. 3's synergy discounts (steps 2/4) when the
+// neighbouring sibling cluster is already implemented in hardware.
+func evaluate(p *cdfg.Program, prof *interp.Profile, base *Baseline, cfg Config,
+	c *Candidate, rs *tech.ResourceSet, prevHW, nextHW bool) *SetEval {
+	ev := &SetEval{RS: rs}
+	// Line 8: list schedule.
+	rsched, err := sched.ScheduleRegion(sched.Config{Lib: cfg.Lib, RS: rs, MemPorts: cfg.MemPorts}, c.Region)
+	if err != nil {
+		ev.Err = err
+		ev.Reason = "unschedulable: " + err.Error()
+		return ev
+	}
+	// Fig. 4: bind, GEQ, U_R.
+	binding, err := asic.Bind(rsched, cfg.Lib, func(bid int) int64 {
+		return prof.BlockCount(c.Region.Func, bid)
+	})
+	if err != nil {
+		ev.Err = err
+		ev.Reason = "binding failed: " + err.Error()
+		return ev
+	}
+	ev.Binding = binding
+	ev.GEQ = binding.GEQTotal()
+	ev.UASIC = utilizationRate(binding, cfg)
+	ev.UMuP = c.MuP.Utilization(base.Micro)
+	if cfg.WeightedU {
+		// Apples to apples: when U_R is size-weighted, weight the µP
+		// side identically, so only the *relative* values matter — the
+		// paper's §3.4 argument for why weighting changes nothing.
+		ev.UMuP = weightedMuPUtilization(c.MuP, base.Micro, cfg.Lib)
+	}
+
+	// Line 9: the cluster must utilize the ASIC core better than the µP.
+	if ev.UASIC <= ev.UMuP {
+		ev.Reason = fmt.Sprintf("U_ASIC %.3f <= U_µP %.3f", ev.UASIC, ev.UMuP)
+		return ev
+	}
+	// Hardware budget (the factor-F rejection of too-expensive cores the
+	// paper describes for "trick").
+	if ev.GEQ > cfg.GEQBudget {
+		ev.Reason = fmt.Sprintf("hardware effort %d cells exceeds budget %d", ev.GEQ, cfg.GEQBudget)
+		return ev
+	}
+
+	// Lines 11-12: energy estimates, with Fig. 3 steps 2/4 synergy.
+	// Beyond Fig. 3's bus energy, every transferred word crosses the
+	// shared memory core (paper Fig. 2a steps a-d), and every invocation
+	// pays a rendezvous overhead on the µP (trigger plus depositing and
+	// reading back the live register state) — without these terms,
+	// fine-grained clusters with thousands of invocations look far
+	// cheaper than they measure.
+	wIn, wOut := c.Traffic.EffectiveWords(prevHW, nextHW)
+	perWord := cfg.Lib.Bus.EReadWord + cfg.Lib.Bus.EWriteWord +
+		(cfg.Lib.Memory.EReadWord+cfg.Lib.Memory.EWriteWord)/4
+	transfers := units.Energy(float64(c.Invocations)*float64(wIn+wOut)) * perWord
+	const syncCycles = 24 // trigger + pinned-variable deposit/readback
+	syncEnergy := units.Energy(float64(c.Invocations)*syncCycles) *
+		base.Micro.BaseEnergy[tech.IClassStore]
+	transfers += syncEnergy
+	ev.EASIC = binding.EnergySelectionEstimate(cfg.Lib) + transfers
+	ev.EMuPSaved = c.MuP.Energy
+
+	// Execution-time estimate: µP sheds the cluster's cycles, gains the
+	// ASIC's (converted to µP clock) plus per-invocation transfer stalls.
+	asicMuPCycles := int64(float64(binding.NcycWeighted)*float64(binding.Clock)/float64(base.Micro.ClockPeriod)) +
+		int64(cfg.Lib.Memory.LatencyCycles)*int64(wIn+wOut)*c.Invocations +
+		syncCycles*c.Invocations
+	ev.EstCycles = base.TotalCycles - c.MuP.Cycles + asicMuPCycles
+	if ev.EstCycles < 1 {
+		ev.EstCycles = 1
+	}
+
+	// Line 13: objective function
+	//   OF = F · (E_R + E_µP + E_rest)/E_0 + w_hw·GEQ/budget + w_t·slowdown.
+	// E_rest is refined by the fetch energy the removed instructions no
+	// longer draw from the i-cache (footnote 2's partition-dependent
+	// cache behaviour, in estimate form).
+	restAfter := base.RestEnergy - units.Energy(float64(c.MuP.Instrs))*base.ICacheAccessEnergy
+	if restAfter < 0 {
+		restAfter = 0
+	}
+	eAfter := float64(base.MuPEnergy-ev.EMuPSaved) + float64(ev.EASIC) + float64(restAfter)
+	slowdown := float64(ev.EstCycles)/float64(base.TotalCycles) - 1
+	if slowdown < 0 {
+		slowdown = 0
+	}
+	ev.OF = cfg.F*eAfter/float64(base.TotalEnergy) +
+		cfg.HardwareWeight*float64(ev.GEQ)/float64(cfg.GEQBudget) +
+		cfg.TimeWeight*slowdown
+	ev.Eligible = true
+	return ev
+}
+
+// utilizationRate returns Eq. 4's U_R, optionally size-weighted (ablation
+// A4: "all resources contribute to U_R in the same way, no matter whether
+// they are large or small ... an according distinction does not result in
+// better partitions").
+func utilizationRate(b *asic.Binding, cfg Config) float64 {
+	if !cfg.WeightedU {
+		return b.URate
+	}
+	if b.NcycWeighted == 0 || len(b.Instances) == 0 {
+		return 0
+	}
+	num, den := 0.0, 0.0
+	for _, in := range b.Instances {
+		w := float64(cfg.Lib.Resource(in.Kind).GEQ)
+		num += w * float64(in.ActiveWeighted) / float64(b.NcycWeighted)
+		den += w
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// weightedMuPUtilization is the GEQ-weighted counterpart of
+// iss.RegionStat.Utilization for ablation A4.
+func weightedMuPUtilization(st *iss.RegionStat, m *tech.MicroprocessorSpec, lib *tech.Library) float64 {
+	if st.Cycles == 0 {
+		return 0
+	}
+	num, den := 0.0, 0.0
+	for k := tech.ResourceKind(0); k < tech.NumResourceKinds; k++ {
+		if m.CoreResources[k] == 0 {
+			continue
+		}
+		w := float64(lib.Resource(k).GEQ * m.CoreResources[k])
+		u := float64(st.Active[k]) / float64(st.Cycles)
+		if u > 1 {
+			u = 1
+		}
+		num += w * u
+		den += w
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Trail renders the decision process as text for cmd/lppart.
+func (d *Decision) Trail() string {
+	var sb strings.Builder
+	for _, c := range d.Candidates {
+		fmt.Fprintf(&sb, "cluster %-28s", c.Region.Label)
+		if c.SkipReason != "" {
+			fmt.Fprintf(&sb, " skipped: %s\n", c.SkipReason)
+			continue
+		}
+		fmt.Fprintf(&sb, " in=%dw out=%dw E_trans=%v invocations=%d score=%.3g\n",
+			c.Traffic.WordsIn, c.Traffic.WordsOut, c.Traffic.Energy, c.Invocations, c.Score)
+		for _, ev := range c.Evals {
+			fmt.Fprintf(&sb, "    %-10s", ev.RS.Name)
+			if ev.Err != nil {
+				fmt.Fprintf(&sb, " %s\n", ev.Reason)
+				continue
+			}
+			fmt.Fprintf(&sb, " U_ASIC=%.3f U_µP=%.3f GEQ=%d", ev.UASIC, ev.UMuP, ev.GEQ)
+			if !ev.Eligible {
+				fmt.Fprintf(&sb, " rejected: %s\n", ev.Reason)
+				continue
+			}
+			fmt.Fprintf(&sb, " E_ASIC=%v OF=%.4f\n", ev.EASIC, ev.OF)
+		}
+	}
+	if d.Chosen != nil {
+		fmt.Fprintf(&sb, "CHOSEN: %s on %s (OF %.4f vs baseline %.4f, %d cells)\n",
+			d.Chosen.Region.Label, d.Chosen.RS.Name, d.Chosen.Eval.OF, d.BaselineOF,
+			d.Chosen.Eval.GEQ)
+	} else {
+		fmt.Fprintf(&sb, "CHOSEN: none (no candidate beat the initial design, baseline OF %.4f)\n", d.BaselineOF)
+	}
+	return sb.String()
+}

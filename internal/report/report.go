@@ -1,0 +1,122 @@
+// Package report renders the paper's experimental artifacts — Table 1 and
+// Figure 6 — from system evaluations, in the same layout the paper uses:
+// two rows per application (initial "I" and partitioned "P"), per-core
+// energy columns and execution-time columns.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"lppart/internal/system"
+	"lppart/internal/units"
+)
+
+// energyCell formats an energy like the paper's Table 1 (µJ/mJ).
+func energyCell(e units.Energy) string {
+	if e == 0 {
+		return "0.0"
+	}
+	return e.String()
+}
+
+// Table1 renders the energy/execution-time table for a set of evaluated
+// applications.
+func Table1(evals []*system.Evaluation) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-7s %-2s %12s %12s %12s %12s %12s %12s %8s | %14s %14s %14s %8s\n",
+		"App", "", "i-cache", "d-cache", "mem", "uP core", "ASIC core", "total", "Sav%",
+		"uP core [cyc]", "ASIC [cyc]", "total [cyc]", "Chg%")
+	sb.WriteString(strings.Repeat("-", 160) + "\n")
+	for _, ev := range evals {
+		i := ev.Initial
+		fmt.Fprintf(&sb, "%-7s %-2s %12s %12s %12s %12s %12s %12s %8s | %14v %14s %14v %8s\n",
+			ev.App, "I",
+			energyCell(i.EICache), energyCell(i.EDCache), energyCell(i.EMem+i.EBus),
+			energyCell(i.EMuP), "n/a", energyCell(i.Total()),
+			fmt.Sprintf("%.2f", ev.Savings()),
+			units.Cycles(i.MuPCycles), "n/a", units.Cycles(i.TotalCycles()),
+			fmt.Sprintf("%.2f", ev.TimeChange()))
+		p := ev.Partitioned
+		if p == nil {
+			fmt.Fprintf(&sb, "%-7s %-2s %s\n", "", "P", "(no beneficial partition found)")
+			continue
+		}
+		fmt.Fprintf(&sb, "%-7s %-2s %12s %12s %12s %12s %12s %12s %8s | %14v %14v %14v %8s\n",
+			"", "P",
+			energyCell(p.EICache), energyCell(p.EDCache), energyCell(p.EMem+p.EBus),
+			energyCell(p.EMuP), energyCell(p.EASIC), energyCell(p.Total()), "",
+			units.Cycles(p.MuPCycles), units.Cycles(p.ASICCycles), units.Cycles(p.TotalCycles()), "")
+	}
+	return sb.String()
+}
+
+// Fig6 renders the paper's Figure 6 as a text bar chart: per application,
+// the achieved energy saving and the change of total execution time, in
+// percent.
+func Fig6(evals []*system.Evaluation) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6: energy savings and change of execution time [%]\n\n")
+	bar := func(pct float64) string {
+		n := int(pct / 2)
+		if n < 0 {
+			n = -n
+		}
+		if n > 50 {
+			n = 50
+		}
+		return strings.Repeat("#", n)
+	}
+	for _, ev := range evals {
+		fmt.Fprintf(&sb, "%-7s energy %8.2f%% %s\n", ev.App, ev.Savings(), bar(ev.Savings()))
+		fmt.Fprintf(&sb, "%-7s time   %8.2f%% %s\n", "", ev.TimeChange(), bar(ev.TimeChange()))
+	}
+	return sb.String()
+}
+
+// Hardware renders the per-application hardware overhead (the paper's
+// "less than 16k cells" claim).
+func Hardware(evals []*system.Evaluation) string {
+	var sb strings.Builder
+	sb.WriteString("ASIC core hardware effort [gate equivalents / cells]\n\n")
+	fmt.Fprintf(&sb, "%-7s %10s %10s %10s %10s  %s\n",
+		"App", "datapath", "control", "registers", "total", "cluster")
+	for _, ev := range evals {
+		if ev.Partitioned == nil || ev.Decision.Chosen == nil {
+			fmt.Fprintf(&sb, "%-7s %s\n", ev.App, "(none)")
+			continue
+		}
+		b := ev.Decision.Chosen.Binding
+		fmt.Fprintf(&sb, "%-7s %10d %10d %10d %10d  %s on %s\n",
+			ev.App, b.GEQDatapath, b.GEQController, b.GEQRegisters, b.GEQTotal(),
+			ev.Decision.Chosen.Region.Label, ev.Decision.Chosen.RS.Name)
+	}
+	return sb.String()
+}
+
+// Summary renders one-line-per-app results plus the aggregate claims the
+// paper makes in the text (35–94% savings, <16k cells).
+func Summary(evals []*system.Evaluation) string {
+	var sb strings.Builder
+	minSav, maxSav, maxGEQ := 0.0, -100.0, 0
+	for _, ev := range evals {
+		s := ev.Savings()
+		fmt.Fprintf(&sb, "%-7s savings %7.2f%%  time %7.2f%%", ev.App, s, ev.TimeChange())
+		if ev.Partitioned != nil {
+			fmt.Fprintf(&sb, "  hw %5d cells", ev.Partitioned.GEQ)
+			if ev.Partitioned.GEQ > maxGEQ {
+				maxGEQ = ev.Partitioned.GEQ
+			}
+		}
+		sb.WriteString("\n")
+		if s < minSav {
+			minSav = s
+		}
+		if s > maxSav {
+			maxSav = s
+		}
+	}
+	fmt.Fprintf(&sb, "\nsavings range %.1f%% .. %.1f%%, max hardware %d cells\n",
+		minSav, maxSav, maxGEQ)
+	return sb.String()
+}

@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lppart/internal/behav"
+	"lppart/internal/cdfg"
+	"lppart/internal/tech"
+)
+
+// TestSchedulePropertyRandomKernels schedules randomly generated loop
+// kernels on every designer resource set and checks the structural
+// invariants (dependences respected, budgets never exceeded, every
+// datapath op placed exactly once) plus a latency sanity bound.
+func TestSchedulePropertyRandomKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260704))
+	ops := []string{"+", "-", "*", "&", "|", "^", "<<", ">>"}
+	vars := []string{"v0", "v1", "v2", "v3"}
+	var expr func(depth int) string
+	expr = func(depth int) string {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			if rng.Intn(2) == 0 {
+				return vars[rng.Intn(len(vars))]
+			}
+			return fmt.Sprintf("%d", 1+rng.Intn(30))
+		}
+		op := ops[rng.Intn(len(ops))]
+		return "(" + expr(depth-1) + " " + op + " " + expr(depth-1) + ")"
+	}
+	lib := tech.Default()
+	sets := tech.DefaultResourceSets()
+	for trial := 0; trial < 30; trial++ {
+		src := "var arr[64];\nfunc main() {\n\tvar i; var v0; var v1; var v2; var v3;\n"
+		src += "\tfor i = 0; i < 8; i = i + 1 {\n"
+		for s := 0; s < 2+rng.Intn(5); s++ {
+			dst := vars[rng.Intn(len(vars))]
+			src += fmt.Sprintf("\t\t%s = %s;\n", dst, expr(1+rng.Intn(3)))
+		}
+		if rng.Intn(2) == 0 {
+			src += fmt.Sprintf("\t\tarr[i] = %s;\n", vars[rng.Intn(len(vars))])
+		}
+		src += "\t}\n}\n"
+
+		prog, err := behav.Parse("rand", src)
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v\n%s", trial, err, src)
+		}
+		ir, err := cdfg.Build(prog)
+		if err != nil {
+			t.Fatalf("trial %d: build: %v", trial, err)
+		}
+		var loop *cdfg.Region
+		for _, r := range ir.Regions() {
+			if r.Kind == cdfg.RegionLoop {
+				loop = r
+			}
+		}
+		for si := range sets {
+			cfg := Config{Lib: lib, RS: &sets[si]}
+			rs, err := ScheduleRegion(cfg, loop)
+			if err != nil {
+				// Tiny sets legitimately cannot execute some kernels.
+				if _, ok := err.(*UnschedulableError); ok {
+					continue
+				}
+				t.Fatalf("trial %d set %s: %v\n%s", trial, sets[si].Name, err, src)
+			}
+			for _, bs := range rs.Blocks {
+				verifySchedule(t, cfg, bs)
+				// Latency bound: a block can never take longer than
+				// fully serial execution at the worst per-op latency.
+				worst := 0
+				for _, p := range bs.Ops {
+					worst += p.Dur
+				}
+				if bs.Len > worst+1 {
+					t.Errorf("trial %d: block len %d exceeds serial bound %d", trial, bs.Len, worst)
+				}
+			}
+		}
+	}
+}
+
+// TestSchedulePropertyMoreResourcesNeverSlower checks monotonicity: a
+// strictly richer resource set can never lengthen a block's schedule.
+func TestSchedulePropertyMoreResourcesNeverSlower(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	lib := tech.Default()
+	small := tech.ResourceSet{Name: "small"}
+	small.Max[tech.ALU] = 1
+	small.Max[tech.Shifter] = 1
+	small.Max[tech.Comparator] = 1
+	small.Max[tech.Multiplier] = 1
+	big := small
+	big.Name = "big"
+	big.Max[tech.ALU] = 4
+	big.Max[tech.Shifter] = 2
+	big.Max[tech.Comparator] = 2
+	big.Max[tech.Multiplier] = 2
+
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(6)
+		src := "func main() {\n\tvar i; var a; var b2; var c; var d;\n\tfor i = 0; i < 4; i = i + 1 {\n"
+		for s := 0; s < n; s++ {
+			src += fmt.Sprintf("\t\t%s = (a + %d) * (b2 ^ %d);\n",
+				[]string{"a", "b2", "c", "d"}[rng.Intn(4)], rng.Intn(9)+1, rng.Intn(9)+1)
+		}
+		src += "\t}\n}\n"
+		prog := behav.MustParse("mono", src)
+		ir := cdfg.MustBuild(prog)
+		var loop *cdfg.Region
+		for _, r := range ir.Regions() {
+			if r.Kind == cdfg.RegionLoop {
+				loop = r
+			}
+		}
+		s1, err := ScheduleRegion(Config{Lib: lib, RS: &small}, loop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := ScheduleRegion(Config{Lib: lib, RS: &big}, loop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s2.TotalSteps() > s1.TotalSteps() {
+			t.Errorf("trial %d: richer set scheduled %d steps vs %d\n%s",
+				trial, s2.TotalSteps(), s1.TotalSteps(), src)
+		}
+	}
+}

@@ -1,0 +1,421 @@
+// Package sched implements the resource-constrained priority list
+// scheduler the partitioning loop runs on every candidate cluster
+// (paper Fig. 1 line 8: "do_list_schedule(c_i, rs_i)").
+//
+// Scheduling is per basic block: the operations of a block form a data
+// flow graph (RAW/WAR/WAW dependencies on scalar slots plus ordering
+// between memory operations on the same array), and the scheduler packs
+// them into control steps so that at every step the number of operations
+// executing on a resource kind never exceeds the designer's budget
+// (tech.ResourceSet). Multi-cycle operations (multiplies, divides) occupy
+// their resource for several consecutive steps.
+//
+// Kind selection happens at placement time: an operation that several
+// resource kinds could execute (e.g. a compare, which fits both the
+// comparator and the ALU) is placed on a kind already used in an earlier
+// step when possible, otherwise on the smallest capable kind — the same
+// preference order as Fig. 4's Sorted_RS_List, lifted from instance to
+// type granularity (instance binding stays in the utilization algorithm).
+//
+// Constants are hardwired in an ASIC datapath and consume no step or
+// resource; FSM state transitions (branches) are free. Loads and stores
+// execute on memory ports (Config.MemPorts) rather than datapath
+// resources, one cycle each.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"lppart/internal/cdfg"
+	"lppart/internal/tech"
+)
+
+// Config parameterizes the scheduler.
+type Config struct {
+	Lib *tech.Library
+	RS  *tech.ResourceSet
+	// MemPorts is the number of concurrent memory accesses per step;
+	// 0 means the default of 2 (a dual-ported local buffer).
+	MemPorts int
+}
+
+func (c Config) memPorts() int {
+	if c.MemPorts <= 0 {
+		return 2
+	}
+	return c.MemPorts
+}
+
+// PlacedOp is one scheduled operation.
+type PlacedOp struct {
+	Op    *cdfg.Op
+	Class tech.OpClass
+	// Kind is the resource kind the op was placed on; meaningless when
+	// Mem is true.
+	Kind tech.ResourceKind
+	Mem  bool // executes on a memory port
+	// Start is the first control step; Dur the number of steps occupied.
+	Start, Dur int
+}
+
+// End returns the first step after the operation completes.
+func (p *PlacedOp) End() int { return p.Start + p.Dur }
+
+// BlockSchedule is the schedule of one basic block.
+type BlockSchedule struct {
+	Block *cdfg.Block
+	Ops   []PlacedOp
+	// Len is the block latency in control steps (at least 1: even an
+	// empty block costs one FSM state).
+	Len int
+}
+
+// RegionSchedule is the schedule of a whole cluster: one BlockSchedule per
+// basic block of the region, in region block order.
+type RegionSchedule struct {
+	Region *cdfg.Region
+	Blocks []*BlockSchedule
+	Config Config
+}
+
+// TotalSteps returns the total number of control steps over all blocks
+// (the FSM state count of the synthesized controller).
+func (rs *RegionSchedule) TotalSteps() int {
+	total := 0
+	for _, b := range rs.Blocks {
+		total += b.Len
+	}
+	return total
+}
+
+// UnschedulableError reports that a cluster cannot execute on a resource
+// set (e.g. a divide with no divider in the budget).
+type UnschedulableError struct {
+	Op     *cdfg.Op
+	Class  tech.OpClass
+	RSName string
+}
+
+// Error implements the error interface.
+func (e *UnschedulableError) Error() string {
+	return fmt.Sprintf("sched: op %v (class %v) has no capable resource in set %s",
+		e.Op.Code, e.Class, e.RSName)
+}
+
+// ScheduleRegion schedules every block of a cluster.
+func ScheduleRegion(cfg Config, r *cdfg.Region) (*RegionSchedule, error) {
+	if cfg.Lib == nil || cfg.RS == nil {
+		return nil, fmt.Errorf("sched: config requires Lib and RS")
+	}
+	out := &RegionSchedule{Region: r, Config: cfg}
+	for _, bid := range r.Blocks {
+		bs, err := ScheduleBlock(cfg, r.Func, r.Func.Block(bid))
+		if err != nil {
+			return nil, err
+		}
+		out.Blocks = append(out.Blocks, bs)
+	}
+	return out, nil
+}
+
+// node is an op plus its dependency bookkeeping during scheduling.
+type node struct {
+	op       *cdfg.Op
+	class    tech.OpClass
+	mem      bool
+	dur      int // resolved after kind selection for datapath ops (max over kinds used for priority)
+	succs    []int
+	preds    int // count of unscheduled predecessors
+	priority int // critical-path length to a sink
+	placed   bool
+	ready    bool
+}
+
+// ScheduleBlock schedules the datapath operations of one block.
+func ScheduleBlock(cfg Config, f *cdfg.Function, b *cdfg.Block) (*BlockSchedule, error) {
+	nodes, order, err := buildDFG(cfg, b)
+	if err != nil {
+		return nil, err
+	}
+	bs := &BlockSchedule{Block: b}
+	if len(nodes) == 0 {
+		bs.Len = 1
+		return bs, nil
+	}
+	computePriorities(nodes)
+
+	// usage[kind][step] and memUse[step] track occupancy.
+	var usage [tech.NumResourceKinds]map[int]int
+	for k := range usage {
+		usage[k] = make(map[int]int)
+	}
+	memUse := make(map[int]int)
+	// kindUsedBefore[k] = true once any op has been placed on kind k
+	// (the "already instantiated in a previous control step" test).
+	var kindUsedBefore [tech.NumResourceKinds]bool
+	earliest := make([]int, len(nodes)) // data-ready step per node
+
+	scheduled := 0
+	step := 0
+	maxSteps := 64 * (len(nodes) + 4) // generous upper bound; placement is guaranteed below
+	for scheduled < len(nodes) && step < maxSteps {
+		// Collect ready ops: all preds done and data available by step.
+		var ready []int
+		for i := range nodes {
+			n := &nodes[i]
+			if !n.placed && n.preds == 0 && earliest[i] <= step {
+				ready = append(ready, i)
+			}
+		}
+		sort.Slice(ready, func(a, b int) bool {
+			if nodes[ready[a]].priority != nodes[ready[b]].priority {
+				return nodes[ready[a]].priority > nodes[ready[b]].priority
+			}
+			return order[ready[a]] < order[ready[b]]
+		})
+		for _, i := range ready {
+			n := &nodes[i]
+			if n.mem {
+				if memUse[step] >= cfg.memPorts() {
+					continue
+				}
+				memUse[step]++
+				place(nodes, earliest, i, step, 1)
+				bs.Ops = append(bs.Ops, PlacedOp{Op: n.op, Class: n.class, Mem: true, Start: step, Dur: 1})
+				scheduled++
+				continue
+			}
+			kind, dur, ok := pickKind(cfg, n.class, step, usage, kindUsedBefore[:])
+			if !ok {
+				continue // all capable kinds saturated this step
+			}
+			for t := step; t < step+dur; t++ {
+				usage[kind][t]++
+			}
+			kindUsedBefore[kind] = true
+			place(nodes, earliest, i, step, dur)
+			bs.Ops = append(bs.Ops, PlacedOp{Op: n.op, Class: n.class, Kind: kind, Start: step, Dur: dur})
+			scheduled++
+		}
+		step++
+	}
+	if scheduled < len(nodes) {
+		return nil, fmt.Errorf("sched: block b%d did not converge (%d/%d ops)", b.ID, scheduled, len(nodes))
+	}
+	for i := range bs.Ops {
+		if e := bs.Ops[i].End(); e > bs.Len {
+			bs.Len = e
+		}
+	}
+	if bs.Len == 0 {
+		bs.Len = 1
+	}
+	return bs, nil
+}
+
+// place marks node i scheduled at [start,start+dur) and releases its
+// successors.
+func place(nodes []node, earliest []int, i, start, dur int) {
+	n := &nodes[i]
+	n.placed = true
+	for _, s := range n.succs {
+		nodes[s].preds--
+		if e := start + dur; e > earliest[s] {
+			earliest[s] = e
+		}
+	}
+}
+
+// pickKind selects the resource kind for an op of class c at the given
+// step: prefer a kind already used before (Fig. 4 lines 7-13), then the
+// smallest capable kind with spare capacity across the op's duration.
+func pickKind(cfg Config, c tech.OpClass, step int, usage [tech.NumResourceKinds]map[int]int, usedBefore []bool) (tech.ResourceKind, int, bool) {
+	kinds := cfg.Lib.Executors(c) // sorted by GEQ ascending
+	try := func(k tech.ResourceKind) (int, bool) {
+		limit := cfg.RS.Limit(k)
+		if limit == 0 {
+			return 0, false
+		}
+		dur := cfg.Lib.Resource(k).OpCycles(c)
+		for t := step; t < step+dur; t++ {
+			if usage[k][t] >= limit {
+				return 0, false
+			}
+		}
+		return dur, true
+	}
+	for _, k := range kinds {
+		if !usedBefore[k] {
+			continue
+		}
+		if dur, ok := try(k); ok {
+			return k, dur, true
+		}
+	}
+	for _, k := range kinds {
+		if dur, ok := try(k); ok {
+			return k, dur, true
+		}
+	}
+	return 0, 0, false
+}
+
+// buildDFG constructs the intra-block dependence graph. order[i] is the
+// op's position in the block, used as a deterministic tie-break.
+func buildDFG(cfg Config, b *cdfg.Block) ([]node, []int, error) {
+	type slotKey struct {
+		global bool
+		id     int
+	}
+	var nodes []node
+	var order []int
+	idxOf := make(map[int]int) // op position in block -> node index
+
+	for pos := range b.Ops {
+		op := &b.Ops[pos]
+		class, ok := op.Code.Class()
+		if !ok {
+			continue // const, nop, control: not scheduled
+		}
+		// A multiply with a compile-time-constant operand synthesizes to
+		// a shift-add tree executable on an ALU, not a full multiplier.
+		if class == tech.OpMul && (op.A.IsConst || op.B.IsConst) {
+			class = tech.OpConstMul
+		}
+		mem := class == tech.OpMemory
+		if !mem {
+			// Verify at least one capable kind exists in the budget.
+			feasible := false
+			for _, k := range cfg.Lib.Executors(class) {
+				if cfg.RS.Limit(k) > 0 {
+					feasible = true
+					break
+				}
+			}
+			if !feasible {
+				return nil, nil, &UnschedulableError{Op: op, Class: class, RSName: cfg.RS.Name}
+			}
+		}
+		idxOf[pos] = len(nodes)
+		nodes = append(nodes, node{op: op, class: class, mem: mem})
+		order = append(order, pos)
+	}
+
+	addEdge := func(from, to int) {
+		if from == to {
+			return
+		}
+		n := &nodes[from]
+		for _, s := range n.succs {
+			if s == to {
+				return
+			}
+		}
+		n.succs = append(n.succs, to)
+		nodes[to].preds++
+	}
+
+	lastDef := make(map[slotKey]int) // node index of last writer
+	lastUses := make(map[slotKey][]int)
+	lastStore := make(map[slotKey]int)
+	loadsSince := make(map[slotKey][]int)
+	// Values defined by unscheduled ops (consts) are always available;
+	// values from scheduled ops create RAW edges. Walk ops in block
+	// order, consulting only scheduled (node-mapped) producers.
+	for pos := range b.Ops {
+		op := &b.Ops[pos]
+		ni, isNode := idxOf[pos]
+		// Reads.
+		for _, u := range op.Uses() {
+			k := slotKey{u.Global, u.ID}
+			if isNode {
+				if d, ok := lastDef[k]; ok {
+					addEdge(d, ni) // RAW
+				}
+				lastUses[k] = append(lastUses[k], ni)
+			}
+		}
+		if isNode && op.Code == cdfg.Load {
+			ak := slotKey{op.Arr.Global, op.Arr.ID}
+			if s, ok := lastStore[ak]; ok {
+				addEdge(s, ni) // memory RAW
+			}
+			loadsSince[ak] = append(loadsSince[ak], ni)
+		}
+		// Writes.
+		if isNode && op.Code == cdfg.Store {
+			ak := slotKey{op.Arr.Global, op.Arr.ID}
+			if s, ok := lastStore[ak]; ok {
+				addEdge(s, ni) // memory WAW
+			}
+			for _, l := range loadsSince[ak] {
+				addEdge(l, ni) // memory WAR
+			}
+			loadsSince[ak] = nil
+			lastStore[ak] = ni
+		}
+		if d := op.Def(); d.Valid() {
+			k := slotKey{d.Global, d.ID}
+			if isNode {
+				if prev, ok := lastDef[k]; ok {
+					addEdge(prev, ni) // WAW
+				}
+				for _, u := range lastUses[k] {
+					addEdge(u, ni) // WAR
+				}
+				lastDef[k] = ni
+				lastUses[k] = nil
+			} else {
+				// A const/copy-free def overwrites the slot: later
+				// readers no longer depend on the previous producer.
+				delete(lastDef, k)
+				lastUses[k] = nil
+			}
+		}
+	}
+
+	// Worst-case duration per node for priority computation.
+	for i := range nodes {
+		n := &nodes[i]
+		if n.mem {
+			n.dur = 1
+			continue
+		}
+		best := 0
+		for _, k := range cfg.Lib.Executors(n.class) {
+			if cfg.RS.Limit(k) > 0 {
+				d := cfg.Lib.Resource(k).OpCycles(n.class)
+				if best == 0 || d < best {
+					best = d
+				}
+			}
+		}
+		n.dur = best
+	}
+	return nodes, order, nil
+}
+
+// computePriorities assigns each node its critical-path length to a sink
+// (in cycles), the classic list-scheduling priority.
+func computePriorities(nodes []node) {
+	// Reverse topological order via repeated relaxation (graphs are tiny:
+	// intra-block).
+	changed := true
+	for changed {
+		changed = false
+		for i := range nodes {
+			n := &nodes[i]
+			p := n.dur
+			for _, s := range n.succs {
+				if v := nodes[s].priority + n.dur; v > p {
+					p = v
+				}
+			}
+			if p > n.priority {
+				n.priority = p
+				changed = true
+			}
+		}
+	}
+}

@@ -1,0 +1,481 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"lppart/internal/behav"
+	"lppart/internal/cdfg"
+	"lppart/internal/tech"
+)
+
+func buildLoop(t *testing.T, src string) (*cdfg.Program, *cdfg.Region) {
+	t.Helper()
+	prog, err := behav.Parse("t", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ir, err := cdfg.Build(prog)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	for _, r := range ir.Regions() {
+		if r.Kind == cdfg.RegionLoop {
+			return ir, r
+		}
+	}
+	t.Fatal("no loop region")
+	return nil, nil
+}
+
+func stdConfig() Config {
+	lib := tech.Default()
+	sets := tech.DefaultResourceSets()
+	return Config{Lib: lib, RS: &sets[2]} // rs-std: 2 ALU, 1 SHIFT, 1 MUL, 1 CMP
+}
+
+// verifySchedule checks structural invariants of a block schedule:
+// dependencies respected, resource budgets never exceeded.
+func verifySchedule(t *testing.T, cfg Config, bs *BlockSchedule) {
+	t.Helper()
+	// Budget check per step.
+	var usage [tech.NumResourceKinds]map[int]int
+	for k := range usage {
+		usage[k] = make(map[int]int)
+	}
+	memUse := make(map[int]int)
+	for _, p := range bs.Ops {
+		if p.Dur <= 0 {
+			t.Errorf("op %v has non-positive duration", p.Op.Code)
+		}
+		if p.End() > bs.Len {
+			t.Errorf("op %v ends at %d beyond block len %d", p.Op.Code, p.End(), bs.Len)
+		}
+		if p.Mem {
+			memUse[p.Start]++
+			continue
+		}
+		for s := p.Start; s < p.End(); s++ {
+			usage[p.Kind][s]++
+		}
+	}
+	for k := range usage {
+		limit := cfg.RS.Limit(tech.ResourceKind(k))
+		for s, n := range usage[k] {
+			if n > limit {
+				t.Errorf("step %d: %d ops on %v, budget %d", s, n, tech.ResourceKind(k), limit)
+			}
+		}
+	}
+	for s, n := range memUse {
+		if n > cfg.memPorts() {
+			t.Errorf("step %d: %d memory ops, %d ports", s, n, cfg.memPorts())
+		}
+	}
+	// RAW: a scheduled producer of a slot must finish before a scheduled
+	// consumer that reads it afterwards in program order.
+	type slotKey struct {
+		g  bool
+		id int
+	}
+	start := make(map[int]int) // op ID -> start
+	end := make(map[int]int)
+	for _, p := range bs.Ops {
+		start[p.Op.ID] = p.Start
+		end[p.Op.ID] = p.End()
+	}
+	lastDef := make(map[slotKey]int) // op ID
+	for i := range bs.Block.Ops {
+		op := &bs.Block.Ops[i]
+		if _, scheduled := start[op.ID]; scheduled {
+			for _, u := range op.Uses() {
+				k := slotKey{u.Global, u.ID}
+				if d, ok := lastDef[k]; ok {
+					if start[op.ID] < end[d] {
+						t.Errorf("RAW violated: op %d starts %d before producer %d ends %d",
+							op.ID, start[op.ID], d, end[d])
+					}
+				}
+			}
+		}
+		if d := op.Def(); d.Valid() {
+			k := slotKey{d.Global, d.ID}
+			if _, scheduled := start[op.ID]; scheduled {
+				lastDef[k] = op.ID
+			} else {
+				delete(lastDef, k) // const def: value always available
+			}
+		}
+	}
+}
+
+func TestScheduleSimpleLoop(t *testing.T) {
+	ir, loop := buildLoop(t, `
+var a[16]; var b[16];
+func main() {
+	var i;
+	for i = 0; i < 16; i = i + 1 {
+		b[i] = a[i] * 3 + 1;
+	}
+}
+`)
+	_ = ir
+	cfg := stdConfig()
+	rs, err := ScheduleRegion(cfg, loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Blocks) == 0 {
+		t.Fatal("no blocks scheduled")
+	}
+	total := rs.TotalSteps()
+	if total <= 0 {
+		t.Errorf("total steps = %d", total)
+	}
+	for _, bs := range rs.Blocks {
+		verifySchedule(t, cfg, bs)
+	}
+}
+
+func TestScheduleRespectsSingleALU(t *testing.T) {
+	// Six independent adds on one ALU must serialize into >= 6 steps.
+	src := `
+var a; var b; var c; var d; var e; var f;
+var s1; var s2; var s3; var s4; var s5; var s6;
+func main() {
+	var i;
+	for i = 0; i < 2; i = i + 1 {
+		s1 = a + 1; s2 = b + 2; s3 = c + 3;
+		s4 = d + 4; s5 = e + 5; s6 = f + 6;
+	}
+}
+`
+	_, loop := buildLoop(t, src)
+	lib := tech.Default()
+	tiny := tech.ResourceSet{Name: "one-alu"}
+	tiny.Max[tech.ALU] = 1
+	tiny.Max[tech.Comparator] = 1
+	cfg := Config{Lib: lib, RS: &tiny}
+	rs, err := ScheduleRegion(cfg, loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body *BlockSchedule
+	for _, bs := range rs.Blocks {
+		adds := 0
+		for _, p := range bs.Ops {
+			if p.Op.Code == cdfg.Add {
+				adds++
+			}
+		}
+		if adds >= 6 {
+			body = bs
+		}
+	}
+	if body == nil {
+		t.Fatal("no body block with 6 adds")
+	}
+	if body.Len < 6 {
+		t.Errorf("6 adds + increment on 1 ALU in %d steps, want >= 6", body.Len)
+	}
+	verifySchedule(t, cfg, body)
+}
+
+func TestScheduleParallelismHelps(t *testing.T) {
+	src := `
+var a; var b; var c; var d;
+var s1; var s2; var s3; var s4;
+func main() {
+	var i;
+	for i = 0; i < 2; i = i + 1 {
+		s1 = a + 1; s2 = b + 2; s3 = c + 3; s4 = d + 4;
+	}
+}
+`
+	_, loop := buildLoop(t, src)
+	lib := tech.Default()
+	one := tech.ResourceSet{Name: "one"}
+	one.Max[tech.ALU] = 1
+	one.Max[tech.Comparator] = 1
+	four := tech.ResourceSet{Name: "four"}
+	four.Max[tech.ALU] = 4
+	four.Max[tech.Comparator] = 1
+
+	lenOf := func(rs *tech.ResourceSet) int {
+		s, err := ScheduleRegion(Config{Lib: lib, RS: rs}, loop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.TotalSteps()
+	}
+	l1, l4 := lenOf(&one), lenOf(&four)
+	if l4 >= l1 {
+		t.Errorf("4 ALUs (%d steps) must beat 1 ALU (%d steps)", l4, l1)
+	}
+}
+
+func TestScheduleMultiCycleMul(t *testing.T) {
+	_, loop := buildLoop(t, `
+var x; var y;
+func main() {
+	var i;
+	for i = 0; i < 2; i = i + 1 {
+		y = x * x;
+	}
+}
+`)
+	cfg := stdConfig()
+	rs, err := ScheduleRegion(cfg, loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mulCycles := cfg.Lib.Resource(tech.Multiplier).OpCycles(tech.OpMul)
+	found := false
+	for _, bs := range rs.Blocks {
+		for _, p := range bs.Ops {
+			if p.Op.Code == cdfg.Mul {
+				found = true
+				if p.Dur != mulCycles {
+					t.Errorf("mul duration = %d, want %d", p.Dur, mulCycles)
+				}
+				if p.Kind != tech.Multiplier {
+					t.Errorf("mul on %v, want multiplier", p.Kind)
+				}
+			}
+		}
+		verifySchedule(t, cfg, bs)
+	}
+	if !found {
+		t.Fatal("no multiply scheduled")
+	}
+}
+
+func TestScheduleUnschedulable(t *testing.T) {
+	_, loop := buildLoop(t, `
+var x;
+func main() {
+	var i;
+	for i = 0; i < 2; i = i + 1 {
+		x = x / 3;
+	}
+}
+`)
+	lib := tech.Default()
+	sets := tech.DefaultResourceSets()
+	// rs-std has no divider.
+	_, err := ScheduleRegion(Config{Lib: lib, RS: &sets[2]}, loop)
+	var ue *UnschedulableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want UnschedulableError", err)
+	}
+	// rs-max has a divider: must succeed.
+	rs, err := ScheduleRegion(Config{Lib: lib, RS: &sets[4]}, loop)
+	if err != nil {
+		t.Fatalf("rs-max: %v", err)
+	}
+	divCycles := lib.Resource(tech.Divider).OpCycles(tech.OpDivRem)
+	for _, bs := range rs.Blocks {
+		for _, p := range bs.Ops {
+			if p.Op.Code == cdfg.Div && p.Dur != divCycles {
+				t.Errorf("div duration = %d, want %d", p.Dur, divCycles)
+			}
+		}
+	}
+}
+
+func TestScheduleMemPortLimit(t *testing.T) {
+	src := `
+var a[8]; var b[8]; var c[8]; var d[8]; var o[8];
+func main() {
+	var i;
+	for i = 0; i < 8; i = i + 1 {
+		o[i] = a[i] + b[i] + c[i] + d[i];
+	}
+}
+`
+	_, loop := buildLoop(t, src)
+	lib := tech.Default()
+	sets := tech.DefaultResourceSets()
+	one := Config{Lib: lib, RS: &sets[3], MemPorts: 1}
+	two := Config{Lib: lib, RS: &sets[3], MemPorts: 4}
+	s1, err := ScheduleRegion(one, loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ScheduleRegion(two, loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.TotalSteps() >= s1.TotalSteps() {
+		t.Errorf("4 mem ports (%d) must beat 1 port (%d)", s2.TotalSteps(), s1.TotalSteps())
+	}
+	for _, bs := range s1.Blocks {
+		verifySchedule(t, one, bs)
+	}
+}
+
+func TestScheduleComparePrefersReuse(t *testing.T) {
+	// With a comparator and an ALU both present, compares may go either
+	// way, but the schedule must stay within budgets and be valid.
+	_, loop := buildLoop(t, `
+var x;
+func main() {
+	var i;
+	for i = 0; i < 8; i = i + 1 {
+		if x < 5 { x = x + 1; }
+	}
+}
+`)
+	cfg := stdConfig()
+	rs, err := ScheduleRegion(cfg, loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range rs.Blocks {
+		verifySchedule(t, cfg, bs)
+	}
+}
+
+func TestScheduleEmptyBlockCostsOneStep(t *testing.T) {
+	// A loop whose body is empty still has header + body blocks; every
+	// block costs at least one FSM state.
+	_, loop := buildLoop(t, `
+func main() {
+	var i;
+	for i = 0; i < 4; i = i + 1 { }
+}
+`)
+	cfg := stdConfig()
+	rs, err := ScheduleRegion(cfg, loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range rs.Blocks {
+		if bs.Len < 1 {
+			t.Errorf("block b%d len %d, want >= 1", bs.Block.ID, bs.Len)
+		}
+	}
+}
+
+func TestScheduleChainSerializes(t *testing.T) {
+	// A dependence chain a->b->c->d cannot be shorter than 4 steps no
+	// matter how many ALUs.
+	_, loop := buildLoop(t, `
+var x;
+func main() {
+	var i;
+	for i = 0; i < 2; i = i + 1 {
+		x = ((((x + 1) + 2) + 3) + 4);
+	}
+}
+`)
+	lib := tech.Default()
+	wide := tech.ResourceSet{Name: "wide"}
+	wide.Max[tech.ALU] = 8
+	wide.Max[tech.Comparator] = 2
+	cfg := Config{Lib: lib, RS: &wide}
+	rs, err := ScheduleRegion(cfg, loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body *BlockSchedule
+	for _, bs := range rs.Blocks {
+		adds := 0
+		for _, p := range bs.Ops {
+			if p.Op.Code == cdfg.Add {
+				adds++
+			}
+		}
+		if adds >= 4 {
+			body = bs
+		}
+	}
+	if body == nil {
+		t.Fatal("no body found")
+	}
+	if body.Len < 4 {
+		t.Errorf("chain of 4 adds in %d steps, want >= 4", body.Len)
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	_, loop := buildLoop(t, `
+var a[8]; var o[8];
+func main() {
+	var i;
+	for i = 0; i < 8; i = i + 1 {
+		o[i] = (a[i] * 5 + 3) ^ (a[i] >> 2);
+	}
+}
+`)
+	cfg := stdConfig()
+	s1, err := ScheduleRegion(cfg, loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ScheduleRegion(cfg, loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.TotalSteps() != s2.TotalSteps() {
+		t.Error("schedule not deterministic")
+	}
+	for i := range s1.Blocks {
+		if len(s1.Blocks[i].Ops) != len(s2.Blocks[i].Ops) {
+			t.Fatal("op counts differ between runs")
+		}
+		for j := range s1.Blocks[i].Ops {
+			p, q := s1.Blocks[i].Ops[j], s2.Blocks[i].Ops[j]
+			if p.Op.ID != q.Op.ID || p.Start != q.Start || p.Kind != q.Kind {
+				t.Errorf("placement %d differs: %+v vs %+v", j, p, q)
+			}
+		}
+	}
+}
+
+func TestScheduleAllOpsPlacedOnce(t *testing.T) {
+	_, loop := buildLoop(t, `
+var a[32]; var o[32];
+func main() {
+	var i;
+	for i = 0; i < 32; i = i + 1 {
+		if a[i] > 0 {
+			o[i] = a[i] * a[i] - (a[i] << 1);
+		} else {
+			o[i] = -a[i] + 7;
+		}
+	}
+}
+`)
+	cfg := stdConfig()
+	rs, err := ScheduleRegion(cfg, loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range rs.Blocks {
+		verifySchedule(t, cfg, bs)
+		seen := make(map[int]bool)
+		want := 0
+		for i := range bs.Block.Ops {
+			if _, ok := bs.Block.Ops[i].Code.Class(); ok {
+				want++
+			}
+		}
+		for _, p := range bs.Ops {
+			if seen[p.Op.ID] {
+				t.Errorf("op %d placed twice", p.Op.ID)
+			}
+			seen[p.Op.ID] = true
+		}
+		if len(bs.Ops) != want {
+			t.Errorf("block b%d: placed %d ops, want %d", bs.Block.ID, len(bs.Ops), want)
+		}
+	}
+}
+
+func TestScheduleConfigErrors(t *testing.T) {
+	_, loop := buildLoop(t, "func main() { var i; for i=0;i<2;i=i+1 {} }")
+	if _, err := ScheduleRegion(Config{}, loop); err == nil {
+		t.Error("nil Lib/RS must error")
+	}
+}

@@ -1,0 +1,306 @@
+// Package system evaluates whole designs: the µP core, instruction cache,
+// data cache, main memory, bus and (for partitioned designs) ASIC cores,
+// executing the application end to end and accounting every core's energy
+// — "it is an important feature of our approach that all system
+// components are taken into consideration to estimate energy savings"
+// (paper §4). Its Evaluate function runs the complete design flow of
+// Fig. 5: profile → initial design measurement → partitioning →
+// partitioned design co-simulation → verification.
+package system
+
+import (
+	"fmt"
+
+	"lppart/internal/asic"
+	"lppart/internal/behav"
+	"lppart/internal/bus"
+	"lppart/internal/cache"
+	"lppart/internal/cdfg"
+	"lppart/internal/codegen"
+	"lppart/internal/interp"
+	"lppart/internal/isa"
+	"lppart/internal/iss"
+	"lppart/internal/mem"
+	"lppart/internal/partition"
+	"lppart/internal/tech"
+	"lppart/internal/units"
+)
+
+// Config parameterizes a system evaluation.
+type Config struct {
+	// Part configures the partitioning algorithm.
+	Part partition.Config
+	// ICache/DCache geometries; zero values select the defaults.
+	ICache, DCache cache.Config
+	// MemWords/StackWords size the µP's memory map.
+	MemWords, StackWords int
+	// MaxInstrs bounds the ISS runs.
+	MaxInstrs int64
+	// Verify cross-checks the partitioned design's memory against the
+	// initial design's (differential co-simulation check). Default true;
+	// set SkipVerify to disable.
+	SkipVerify bool
+}
+
+func (c *Config) defaults() {
+	if c.ICache.Sets == 0 {
+		c.ICache = cache.DefaultICache()
+	}
+	if c.DCache.Sets == 0 {
+		c.DCache = cache.DefaultDCache()
+	}
+	if c.MemWords == 0 {
+		c.MemWords = 1 << 20
+	}
+	if c.StackWords == 0 {
+		c.StackWords = 1 << 14
+	}
+	if c.Part.Lib == nil {
+		c.Part.Lib = tech.Default()
+	}
+}
+
+// Design is one fully evaluated implementation — a pair of Table 1 rows'
+// worth of numbers.
+type Design struct {
+	Name string
+	// Energy per core.
+	EICache, EDCache, EMem, EBus, EMuP, EASIC units.Energy
+	// Execution time split.
+	MuPCycles, ASICCycles int64
+	// Detail.
+	ISS    *iss.Result
+	IStats cache.Stats
+	DStats cache.Stats
+	GEQ    int // ASIC hardware effort (0 for the initial design)
+}
+
+// Total is the whole-system energy (Table 1 "total" column; bus energy is
+// folded into the memory subsystem as the paper's table does not list it
+// separately).
+func (d *Design) Total() units.Energy {
+	return d.EICache + d.EDCache + d.EMem + d.EBus + d.EMuP + d.EASIC
+}
+
+// TotalCycles is the execution time in cycles.
+func (d *Design) TotalCycles() int64 { return d.MuPCycles + d.ASICCycles }
+
+// Evaluation is the complete outcome for one application.
+type Evaluation struct {
+	App         string
+	IR          *cdfg.Program
+	Initial     *Design
+	Partitioned *Design // nil when no partition was chosen
+	Decision    *partition.Decision
+	Profile     *interp.Profile
+}
+
+// Savings returns Table 1's "Sav%" (negative = saving).
+func (e *Evaluation) Savings() float64 {
+	if e.Partitioned == nil {
+		return 0
+	}
+	return units.PercentChange(float64(e.Initial.Total()), float64(e.Partitioned.Total()))
+}
+
+// TimeChange returns Table 1's "Chg%" (negative = faster).
+func (e *Evaluation) TimeChange() float64 {
+	if e.Partitioned == nil {
+		return 0
+	}
+	return units.PercentChange(float64(e.Initial.TotalCycles()), float64(e.Partitioned.TotalCycles()))
+}
+
+// memSys wires the ISS to the cache cores.
+type memSys struct {
+	ic, dc *cache.Cache
+}
+
+func (m *memSys) FetchInstr(byteAddr uint32) int { return m.ic.Access(int32(byteAddr/4), false) }
+func (m *memSys) ReadData(addr int32) int        { return m.dc.Access(addr, false) }
+func (m *memSys) WriteData(addr int32) int       { return m.dc.Access(addr, true) }
+
+// runDesign executes one compiled program against fresh cache/memory/bus
+// cores and collects the per-core accounting.
+func runDesign(name string, mp *isaProgram, cfg *Config, handler iss.ASICHandler,
+	micro *tech.MicroprocessorSpec) (*Design, *bus.Bus, *mem.Memory, error) {
+	lib := cfg.Part.Lib
+	b := bus.New(lib)
+	m := mem.New(lib)
+	ic, err := cache.New("i-cache", cfg.ICache, lib.Cache, m, b)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	dcfg := cfg.DCache
+	dcfg.WriteBack = true
+	dc, err := cache.New("d-cache", dcfg, lib.Cache, m, b)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res, err := iss.Run(mp.prog, iss.Options{
+		Micro:     micro,
+		Mem:       &memSys{ic: ic, dc: dc},
+		ASIC:      handler,
+		MaxInstrs: cfg.MaxInstrs,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	dc.Flush()
+	d := &Design{
+		Name:      name,
+		EICache:   ic.Energy(),
+		EDCache:   dc.Energy(),
+		EMem:      m.Energy(),
+		EBus:      b.Energy(),
+		EMuP:      res.Energy,
+		MuPCycles: res.Cycles,
+		ISS:       res,
+		IStats:    ic.Stats,
+		DStats:    dc.Stats,
+	}
+	return d, b, m, nil
+}
+
+// coreSet dispatches ASIC rendezvous instructions to their core.
+type coreSet map[int32]*asic.Core
+
+// RunASIC implements iss.ASICHandler over multiple cores.
+func (cs coreSet) RunASIC(id int32, mem []int32) (int64, error) {
+	core, ok := cs[id]
+	if !ok {
+		return 0, fmt.Errorf("system: no ASIC core %d", id)
+	}
+	return core.RunASIC(id, mem)
+}
+
+// isaProgram bundles a compiled program with its layout.
+type isaProgram struct {
+	prog *isa.Program
+	lay  *codegen.Layout
+}
+
+// Evaluate runs the full design flow for one application: behavioral
+// source → IR → profile → initial design → partitioning → partitioned
+// design, with a functional cross-check between the two designs.
+func Evaluate(src *behav.Program, cfg Config) (*Evaluation, error) {
+	cfg.defaults()
+	ir, err := cdfg.Build(src)
+	if err != nil {
+		return nil, fmt.Errorf("system: %w", err)
+	}
+	return EvaluateIR(ir, cfg)
+}
+
+// EvaluateIR is Evaluate starting from already-built IR.
+func EvaluateIR(ir *cdfg.Program, cfg Config) (*Evaluation, error) {
+	cfg.defaults()
+	lib := cfg.Part.Lib
+	micro := &lib.Micro
+
+	// Profiling run (Fig. 5 "Trace Tool" / profiler).
+	profRes, err := interp.Run(ir, interp.Options{CollectProfile: true,
+		MaxSteps: cfg.MaxInstrs})
+	if err != nil {
+		return nil, fmt.Errorf("system: profiling: %w", err)
+	}
+	ev := &Evaluation{App: ir.Name, IR: ir, Profile: profRes.Prof}
+
+	// Initial (all-software) design.
+	full, fullLay, err := codegen.Compile(ir, codegen.Options{
+		MemWords: cfg.MemWords, StackWords: cfg.StackWords})
+	if err != nil {
+		return nil, fmt.Errorf("system: compile: %w", err)
+	}
+	initial, _, _, err := runDesign("initial", &isaProgram{prog: full, lay: fullLay}, &cfg, nil, micro)
+	if err != nil {
+		return nil, fmt.Errorf("system: initial design: %w", err)
+	}
+	ev.Initial = initial
+
+	// Partitioning (Fig. 1).
+	icAccess, err := cache.New("probe", cfg.ICache, lib.Cache, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	base := &partition.Baseline{
+		TotalEnergy:        initial.Total(),
+		MuPEnergy:          initial.EMuP,
+		RestEnergy:         initial.EICache + initial.EDCache + initial.EMem + initial.EBus,
+		TotalCycles:        initial.TotalCycles(),
+		Regions:            initial.ISS.Regions,
+		Micro:              micro,
+		ICacheAccessEnergy: icAccess.AccessEnergy(),
+	}
+	dec, err := partition.Partition(ir, profRes.Prof, base, cfg.Part)
+	if err != nil {
+		return nil, fmt.Errorf("system: partition: %w", err)
+	}
+	ev.Decision = dec
+	if dec.Chosen == nil {
+		return ev, nil
+	}
+
+	// Partitioned design: recompile with the chosen cluster(s) excluded,
+	// build one ASIC core per cluster, co-simulate.
+	exclude := make(map[int]int, len(dec.Choices))
+	for i, ch := range dec.Choices {
+		exclude[ch.Region.ID] = i
+	}
+	part, partLay, err := codegen.Compile(ir, codegen.Options{
+		MemWords: cfg.MemWords, StackWords: cfg.StackWords,
+		Exclude: exclude,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("system: partitioned compile: %w", err)
+	}
+	asicBus := bus.New(lib)
+	asicMem := mem.New(lib)
+	cores := make(coreSet, len(dec.Choices))
+	totalGEQ := 0
+	for i, ch := range dec.Choices {
+		core, err := asic.NewCore(i, ir, ch.Region, ch.Binding,
+			partLay, lib, asicBus, asicMem)
+		if err != nil {
+			return nil, fmt.Errorf("system: ASIC core %d: %w", i, err)
+		}
+		cores[int32(i)] = core
+		totalGEQ += ch.Eval.GEQ
+	}
+	pd, pb, pm, err := runDesign("partitioned", &isaProgram{prog: part, lay: partLay}, &cfg, cores, micro)
+	if err != nil {
+		return nil, fmt.Errorf("system: partitioned design: %w", err)
+	}
+	// Fold the ASIC's transfer traffic into the shared bus/memory cores.
+	pd.EBus = pb.Energy() + asicBus.Energy()
+	pd.EMem = pm.Energy() + asicMem.Energy()
+	for _, core := range cores {
+		pd.EASIC += core.Energy
+	}
+	pd.ASICCycles = pd.ISS.ASICCycles
+	pd.GEQ = totalGEQ
+	ev.Partitioned = pd
+
+	if !cfg.SkipVerify {
+		if err := verify(ir, fullLay, initial.ISS.Mem, partLay, pd.ISS.Mem); err != nil {
+			return nil, fmt.Errorf("system: partitioned design diverged: %w", err)
+		}
+	}
+	return ev, nil
+}
+
+// verify compares every global between the two designs' final memories.
+func verify(ir *cdfg.Program, layA *codegen.Layout, memA []int32,
+	layB *codegen.Layout, memB []int32) error {
+	for gi, g := range ir.Globals {
+		addrA, words, _ := layA.VarAddr(ir, "", true, gi)
+		addrB, _, _ := layB.VarAddr(ir, "", true, gi)
+		for w := int32(0); w < words; w++ {
+			if memA[addrA+w] != memB[addrB+w] {
+				return fmt.Errorf("global %s[%d]: initial=%d partitioned=%d",
+					g.Name, w, memA[addrA+w], memB[addrB+w])
+			}
+		}
+	}
+	return nil
+}

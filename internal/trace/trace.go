@@ -1,0 +1,173 @@
+// Package trace implements the trace tool and cache profiler of the
+// paper's design flow (Fig. 5: "Trace Tool" feeding a "Cache Profiler",
+// after [17] WARTS): it records the exact instruction-fetch and data
+// reference stream of an ISS run once, then replays it against any number
+// of cache geometries without re-simulating the program — the standard
+// trace-driven methodology for tuning the cache cores to a chosen
+// partition ("those other cores have to be adapted efficiently (e.g. size
+// of memory, size of caches, cache policy etc.) according to the
+// particular hw/sw partitioning chosen", paper §1).
+package trace
+
+import (
+	"fmt"
+
+	"lppart/internal/bus"
+	"lppart/internal/cache"
+	"lppart/internal/iss"
+	"lppart/internal/mem"
+	"lppart/internal/tech"
+	"lppart/internal/units"
+)
+
+// Kind classifies one recorded reference.
+type Kind uint8
+
+// Reference kinds.
+const (
+	Fetch Kind = iota // instruction fetch (word address)
+	Read              // data load
+	Write             // data store
+)
+
+// String names the reference kind.
+func (k Kind) String() string {
+	switch k {
+	case Fetch:
+		return "fetch"
+	case Read:
+		return "read"
+	default:
+		return "write"
+	}
+}
+
+// Access is one recorded memory reference.
+type Access struct {
+	Kind Kind
+	Addr int32 // word address
+}
+
+// Trace is a recorded reference stream.
+type Trace struct {
+	Accesses []Access
+}
+
+// Recorder implements iss.MemSystem: it appends every reference to the
+// trace and (optionally) forwards to an inner memory system whose stall
+// cycles it passes through.
+type Recorder struct {
+	Trace Trace
+	Inner iss.MemSystem
+}
+
+// FetchInstr records an instruction fetch.
+func (r *Recorder) FetchInstr(byteAddr uint32) int {
+	r.Trace.Accesses = append(r.Trace.Accesses, Access{Kind: Fetch, Addr: int32(byteAddr / 4)})
+	if r.Inner != nil {
+		return r.Inner.FetchInstr(byteAddr)
+	}
+	return 0
+}
+
+// ReadData records a data load.
+func (r *Recorder) ReadData(addr int32) int {
+	r.Trace.Accesses = append(r.Trace.Accesses, Access{Kind: Read, Addr: addr})
+	if r.Inner != nil {
+		return r.Inner.ReadData(addr)
+	}
+	return 0
+}
+
+// WriteData records a data store.
+func (r *Recorder) WriteData(addr int32) int {
+	r.Trace.Accesses = append(r.Trace.Accesses, Access{Kind: Write, Addr: addr})
+	if r.Inner != nil {
+		return r.Inner.WriteData(addr)
+	}
+	return 0
+}
+
+// Report is the outcome of replaying a trace against one cache pair.
+type Report struct {
+	ICfg, DCfg cache.Config
+	I, D       cache.Stats
+	// Energy breakdown of the replay: cache arrays, memory, bus.
+	EICache, EDCache, EMem, EBus units.Energy
+	// Stalls is the total extra cycles the geometry would have cost.
+	Stalls int64
+}
+
+// Total returns the memory-subsystem energy of the replay.
+func (r Report) Total() units.Energy { return r.EICache + r.EDCache + r.EMem + r.EBus }
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("i$ %5dB %.4f hit | d$ %5dB %.4f hit | E %v | stalls %d",
+		r.ICfg.SizeBytes(), r.I.HitRate(), r.DCfg.SizeBytes(), r.D.HitRate(),
+		r.Total(), r.Stalls)
+}
+
+// Replay runs the trace against one instruction/data cache pair backed by
+// fresh memory and bus cores.
+func (t *Trace) Replay(icfg, dcfg cache.Config, lib *tech.Library) (Report, error) {
+	m := mem.New(lib)
+	b := bus.New(lib)
+	dcfg.WriteBack = true
+	ic, err := cache.New("i-replay", icfg, lib.Cache, m, b)
+	if err != nil {
+		return Report{}, err
+	}
+	dc, err := cache.New("d-replay", dcfg, lib.Cache, m, b)
+	if err != nil {
+		return Report{}, err
+	}
+	var stalls int64
+	for _, a := range t.Accesses {
+		switch a.Kind {
+		case Fetch:
+			stalls += int64(ic.Access(a.Addr, false))
+		case Read:
+			stalls += int64(dc.Access(a.Addr, false))
+		case Write:
+			stalls += int64(dc.Access(a.Addr, true))
+		}
+	}
+	stalls += int64(dc.Flush())
+	return Report{
+		ICfg: icfg, DCfg: dcfg,
+		I: ic.Stats, D: dc.Stats,
+		EICache: ic.Energy(), EDCache: dc.Energy(),
+		EMem: m.Energy(), EBus: b.Energy(),
+		Stalls: stalls,
+	}, nil
+}
+
+// Sweep replays the trace against every geometry pair and returns the
+// reports in input order.
+func (t *Trace) Sweep(pairs [][2]cache.Config, lib *tech.Library) ([]Report, error) {
+	out := make([]Report, 0, len(pairs))
+	for _, pr := range pairs {
+		rep, err := t.Replay(pr[0], pr[1], lib)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// Counts returns the number of fetches, reads and writes in the trace.
+func (t *Trace) Counts() (fetches, reads, writes int64) {
+	for _, a := range t.Accesses {
+		switch a.Kind {
+		case Fetch:
+			fetches++
+		case Read:
+			reads++
+		default:
+			writes++
+		}
+	}
+	return
+}

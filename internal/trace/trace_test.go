@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"testing"
+
+	"lppart/internal/behav"
+	"lppart/internal/cache"
+	"lppart/internal/cdfg"
+	"lppart/internal/codegen"
+	"lppart/internal/iss"
+	"lppart/internal/tech"
+)
+
+// record runs a small program under the recorder.
+func record(t *testing.T, src string) *Trace {
+	t.Helper()
+	prog := behav.MustParse("t", src)
+	ir := cdfg.MustBuild(prog)
+	mp, _, err := codegen.Compile(ir, codegen.Options{MemWords: 1 << 16, StackWords: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Recorder{}
+	if _, err := iss.Run(mp, iss.Options{Mem: rec}); err != nil {
+		t.Fatal(err)
+	}
+	return &rec.Trace
+}
+
+const walker = `
+var a[512]; var s;
+func main() {
+	var i;
+	for i = 0; i < 512; i = i + 1 { a[i] = i; }
+	for i = 0; i < 512; i = i + 1 { s = s + a[i]; }
+}
+`
+
+func TestRecorderCapturesReferences(t *testing.T) {
+	tr := record(t, walker)
+	fetches, reads, writes := tr.Counts()
+	if fetches == 0 || reads == 0 || writes == 0 {
+		t.Fatalf("trace incomplete: f=%d r=%d w=%d", fetches, reads, writes)
+	}
+	// Every executed instruction produces exactly one fetch; the walker
+	// writes at least 512 array elements and reads at least 512 back.
+	if writes < 512 {
+		t.Errorf("writes = %d, want >= 512", writes)
+	}
+	if reads < 512 {
+		t.Errorf("reads = %d, want >= 512", reads)
+	}
+	if int64(len(tr.Accesses)) != fetches+reads+writes {
+		t.Error("counts do not partition the trace")
+	}
+}
+
+func TestReplayMatchesLiveSimulation(t *testing.T) {
+	// Replaying the recorded trace against the same geometry must give
+	// the same cache statistics as simulating live with those caches.
+	prog := behav.MustParse("t", walker)
+	ir := cdfg.MustBuild(prog)
+	mp, _, err := codegen.Compile(ir, codegen.Options{MemWords: 1 << 16, StackWords: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := tech.Default()
+
+	// Live simulation.
+	liveI, _ := cache.New("i", cache.DefaultICache(), lib.Cache, nil, nil)
+	liveD, _ := cache.New("d", cache.DefaultDCache(), lib.Cache, nil, nil)
+	rec := &Recorder{Inner: &liveMem{liveI, liveD}}
+	if _, err := iss.Run(mp, iss.Options{Mem: rec}); err != nil {
+		t.Fatal(err)
+	}
+	liveD.Flush()
+
+	rep, err := rec.Trace.Replay(cache.DefaultICache(), cache.DefaultDCache(), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.I.Hits != liveI.Stats.Hits || rep.I.Misses != liveI.Stats.Misses {
+		t.Errorf("i-cache replay %+v != live %+v", rep.I, liveI.Stats)
+	}
+	if rep.D.Hits != liveD.Stats.Hits || rep.D.Misses != liveD.Stats.Misses {
+		t.Errorf("d-cache replay %+v != live %+v", rep.D, liveD.Stats)
+	}
+}
+
+type liveMem struct{ ic, dc *cache.Cache }
+
+func (m *liveMem) FetchInstr(a uint32) int { return m.ic.Access(int32(a/4), false) }
+func (m *liveMem) ReadData(a int32) int    { return m.dc.Access(a, false) }
+func (m *liveMem) WriteData(a int32) int   { return m.dc.Access(a, true) }
+
+func TestSweepMonotoneCapacity(t *testing.T) {
+	// Growing the data cache can only improve (or hold) its hit rate on
+	// a replayed trace.
+	tr := record(t, walker)
+	lib := tech.Default()
+	pairs := [][2]cache.Config{
+		{cache.DefaultICache(), {Sets: 16, Assoc: 1, LineWords: 4, WriteBack: true}},
+		{cache.DefaultICache(), {Sets: 64, Assoc: 1, LineWords: 4, WriteBack: true}},
+		{cache.DefaultICache(), {Sets: 256, Assoc: 1, LineWords: 4, WriteBack: true}},
+	}
+	reps, err := tr.Sweep(pairs, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(reps); i++ {
+		if reps[i].D.HitRate() < reps[i-1].D.HitRate()-1e-12 {
+			t.Errorf("d-cache hit rate dropped when growing: %.4f -> %.4f",
+				reps[i-1].D.HitRate(), reps[i].D.HitRate())
+		}
+	}
+	// Stalls shrink with capacity too (same line size, more sets).
+	if reps[2].Stalls > reps[0].Stalls {
+		t.Errorf("stalls grew with capacity: %d -> %d", reps[0].Stalls, reps[2].Stalls)
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	tr := record(t, walker)
+	lib := tech.Default()
+	r1, err := tr.Replay(cache.DefaultICache(), cache.DefaultDCache(), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := tr.Replay(cache.DefaultICache(), cache.DefaultDCache(), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("replay is not deterministic")
+	}
+	if r1.Total() <= 0 {
+		t.Error("replay energy must be positive")
+	}
+	if r1.String() == "" {
+		t.Error("empty report string")
+	}
+}
+
+func TestReplayRejectsBadGeometry(t *testing.T) {
+	tr := record(t, walker)
+	lib := tech.Default()
+	if _, err := tr.Replay(cache.Config{Sets: 3, Assoc: 1, LineWords: 4},
+		cache.DefaultDCache(), lib); err == nil {
+		t.Error("bad geometry must be rejected")
+	}
+}

@@ -1,0 +1,27 @@
+package units_test
+
+import (
+	"fmt"
+
+	"lppart/internal/units"
+)
+
+// ExampleEnergy_String shows the Table 1 style scaling.
+func ExampleEnergy_String() {
+	fmt.Println(116.93 * units.MicroJoule)
+	fmt.Println(4.11 * units.MilliJoule)
+	fmt.Println(units.EnergyOf(15*units.MilliWatt, 22*units.NanoSecond))
+	// Output:
+	// 116.9 uJ
+	// 4.11 mJ
+	// 330 pJ
+}
+
+// ExampleCycles_String shows the grouped cycle formatting Table 1 uses.
+func ExampleCycles_String() {
+	fmt.Println(units.Cycles(5167958))
+	fmt.Println(units.Cycles(154))
+	// Output:
+	// 5,167,958
+	// 154
+}

@@ -1,0 +1,152 @@
+// Package units provides the physical quantities used throughout the
+// low-power partitioning framework: energy, power and time, plus the
+// cycle-count bookkeeping that the paper's Table 1 reports.
+//
+// All quantities are plain float64 wrappers in SI base units (joules,
+// watts, seconds) so arithmetic stays ordinary; the types exist for
+// documentation, for pretty-printing in the units the paper uses
+// (µJ, mJ, ns, MHz) and to keep call sites honest about what a number
+// means.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Energy is an amount of energy in joules.
+type Energy float64
+
+// Common energy scales.
+const (
+	Joule      Energy = 1
+	MilliJoule Energy = 1e-3
+	MicroJoule Energy = 1e-6
+	NanoJoule  Energy = 1e-9
+	PicoJoule  Energy = 1e-12
+)
+
+// String renders the energy in the most natural scale, matching the
+// paper's habit of quoting µJ and mJ values.
+func (e Energy) String() string {
+	abs := math.Abs(float64(e))
+	switch {
+	case abs == 0:
+		return "0.0"
+	case abs >= 1:
+		return fmt.Sprintf("%.4g J", float64(e))
+	case abs >= 1e-3:
+		return fmt.Sprintf("%.4g mJ", float64(e)/1e-3)
+	case abs >= 1e-6:
+		return fmt.Sprintf("%.4g uJ", float64(e)/1e-6)
+	case abs >= 1e-9:
+		return fmt.Sprintf("%.4g nJ", float64(e)/1e-9)
+	default:
+		return fmt.Sprintf("%.4g pJ", float64(e)/1e-12)
+	}
+}
+
+// Micro returns the energy expressed in microjoules.
+func (e Energy) Micro() float64 { return float64(e) / 1e-6 }
+
+// Milli returns the energy expressed in millijoules.
+func (e Energy) Milli() float64 { return float64(e) / 1e-3 }
+
+// Power is a power in watts.
+type Power float64
+
+// Common power scales.
+const (
+	Watt      Power = 1
+	MilliWatt Power = 1e-3
+	MicroWatt Power = 1e-6
+)
+
+// String renders the power in a natural scale.
+func (p Power) String() string {
+	abs := math.Abs(float64(p))
+	switch {
+	case abs == 0:
+		return "0.0"
+	case abs >= 1:
+		return fmt.Sprintf("%.4g W", float64(p))
+	case abs >= 1e-3:
+		return fmt.Sprintf("%.4g mW", float64(p)/1e-3)
+	default:
+		return fmt.Sprintf("%.4g uW", float64(p)/1e-6)
+	}
+}
+
+// Time is a duration in seconds. The framework does not use time.Duration
+// because sub-nanosecond resolution (gate delays in a 0.8µ process) and
+// fractional cycle times matter.
+type Time float64
+
+// Common time scales.
+const (
+	Second      Time = 1
+	MilliSecond Time = 1e-3
+	MicroSecond Time = 1e-6
+	NanoSecond  Time = 1e-9
+)
+
+// String renders the time in a natural scale.
+func (t Time) String() string {
+	abs := math.Abs(float64(t))
+	switch {
+	case abs == 0:
+		return "0.0"
+	case abs >= 1:
+		return fmt.Sprintf("%.4g s", float64(t))
+	case abs >= 1e-3:
+		return fmt.Sprintf("%.4g ms", float64(t)/1e-3)
+	case abs >= 1e-6:
+		return fmt.Sprintf("%.4g us", float64(t)/1e-6)
+	default:
+		return fmt.Sprintf("%.4g ns", float64(t)/1e-9)
+	}
+}
+
+// EnergyOf returns the energy dissipated by drawing power p for duration t.
+func EnergyOf(p Power, t Time) Energy { return Energy(float64(p) * float64(t)) }
+
+// Cycles counts clock cycles; Table 1's execution-time columns are cycle
+// counts, so they get a dedicated type with grouped formatting.
+type Cycles int64
+
+// String formats the count with thousands separators, as in the paper's
+// Table 1 ("5,167,958").
+func (c Cycles) String() string {
+	n := int64(c)
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	s := fmt.Sprintf("%d", n)
+	var out []byte
+	for i, d := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, d)
+	}
+	if neg {
+		return "-" + string(out)
+	}
+	return string(out)
+}
+
+// Duration converts a cycle count at the given clock period into seconds.
+func (c Cycles) Duration(period Time) Time { return Time(float64(c) * float64(period)) }
+
+// PercentChange returns 100*(after-before)/before, the convention used by
+// Table 1's "Sav%" and "Chg%" columns (negative = reduction/improvement).
+func PercentChange(before, after float64) float64 {
+	if before == 0 {
+		if after == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return 100 * (after - before) / before
+}

@@ -1,0 +1,164 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnergyString(t *testing.T) {
+	cases := []struct {
+		e    Energy
+		want string
+	}{
+		{0, "0.0"},
+		{1.5 * Joule, "1.5 J"},
+		{2.5 * MilliJoule, "2.5 mJ"},
+		{116.93 * MicroJoule, "116.9 uJ"},
+		{3 * NanoJoule, "3 nJ"},
+		{7 * PicoJoule, "7 pJ"},
+		{-4.11 * MilliJoule, "-4.11 mJ"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("Energy(%g).String() = %q, want %q", float64(c.e), got, c.want)
+		}
+	}
+}
+
+func TestPowerString(t *testing.T) {
+	cases := []struct {
+		p    Power
+		want string
+	}{
+		{0, "0.0"},
+		{2 * Watt, "2 W"},
+		{350 * MilliWatt, "350 mW"},
+		{42 * MicroWatt, "42 uW"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("Power(%g).String() = %q, want %q", float64(c.p), got, c.want)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		d    Time
+		want string
+	}{
+		{0, "0.0"},
+		{2 * Second, "2 s"},
+		{3 * MilliSecond, "3 ms"},
+		{40 * MicroSecond, "40 us"},
+		{25 * NanoSecond, "25 ns"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("Time(%g).String() = %q, want %q", float64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestEnergyOf(t *testing.T) {
+	// 100 mW for 10 ms is 1 mJ.
+	got := EnergyOf(100*MilliWatt, 10*MilliSecond)
+	if math.Abs(float64(got-1*MilliJoule)) > 1e-15 {
+		t.Errorf("EnergyOf = %v, want 1 mJ", got)
+	}
+}
+
+func TestCyclesString(t *testing.T) {
+	cases := []struct {
+		c    Cycles
+		want string
+	}{
+		{0, "0"},
+		{154, "154"},
+		{39712, "39,712"},
+		{5167958, "5,167,958"},
+		{169511665, "169,511,665"},
+		{-2500, "-2,500"},
+	}
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Errorf("Cycles(%d).String() = %q, want %q", int64(c.c), got, c.want)
+		}
+	}
+}
+
+func TestCyclesDuration(t *testing.T) {
+	// 1000 cycles at 25 ns is 25 µs.
+	got := Cycles(1000).Duration(25 * NanoSecond)
+	if math.Abs(float64(got-25*MicroSecond)) > 1e-18 {
+		t.Errorf("Duration = %v, want 25 us", got)
+	}
+}
+
+func TestPercentChange(t *testing.T) {
+	cases := []struct {
+		before, after, want float64
+	}{
+		{100, 65, -35},
+		{100, 100, 0},
+		{200, 300, 50},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := PercentChange(c.before, c.after); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("PercentChange(%g,%g) = %g, want %g", c.before, c.after, got, c.want)
+		}
+	}
+	if !math.IsInf(PercentChange(0, 5), 1) {
+		t.Error("PercentChange(0, 5) should be +Inf")
+	}
+}
+
+// Property: EnergyOf is bilinear — scaling power or time scales energy.
+func TestEnergyOfBilinearProperty(t *testing.T) {
+	f := func(p, d float64, k uint8) bool {
+		p = math.Mod(math.Abs(p), 1e3)
+		d = math.Mod(math.Abs(d), 1e3)
+		scale := float64(k%7) + 1
+		a := EnergyOf(Power(p*scale), Time(d))
+		b := EnergyOf(Power(p), Time(d*scale))
+		c := Energy(scale) * EnergyOf(Power(p), Time(d))
+		return math.Abs(float64(a-c)) <= 1e-9*math.Abs(float64(c))+1e-30 &&
+			math.Abs(float64(b-c)) <= 1e-9*math.Abs(float64(c))+1e-30
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cycles.String round-trips digits (stripping separators yields
+// the plain decimal rendering).
+func TestCyclesStringProperty(t *testing.T) {
+	f := func(n int64) bool {
+		s := Cycles(n).String()
+		var stripped []byte
+		for i := 0; i < len(s); i++ {
+			if s[i] != ',' {
+				stripped = append(stripped, s[i])
+			}
+		}
+		var back int64
+		neg := false
+		b := stripped
+		if len(b) > 0 && b[0] == '-' {
+			neg = true
+			b = b[1:]
+		}
+		for _, d := range b {
+			back = back*10 + int64(d-'0')
+		}
+		if neg {
+			back = -back
+		}
+		return back == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
