@@ -25,6 +25,7 @@ import (
 	"lppart/internal/interp"
 	"lppart/internal/iss"
 	"lppart/internal/mem"
+	"lppart/internal/partition"
 	"lppart/internal/sched"
 	"lppart/internal/system"
 	"lppart/internal/tech"
@@ -232,6 +233,115 @@ func BenchmarkExtensionControlDominated(b *testing.B) {
 		chosen = 1
 	}
 	b.ReportMetric(chosen, "partitioned")
+}
+
+// --- parallel evaluation engine ---------------------------------------
+
+// partitionInputs builds the IR, profile and measured baseline the
+// partitioning inner loop needs, outside the timed section — the same
+// setup the system package performs before calling partition.Partition.
+func partitionInputs(b *testing.B, name string) (*cdfg.Program, *interp.Profile, *partition.Baseline) {
+	b.Helper()
+	a, err := apps.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := a.Parse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ir, err := cdfg.Build(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	profRes, err := interp.Run(ir, interp.Options{CollectProfile: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mp, _, err := codegen.Compile(ir, codegen.Options{MemWords: 1 << 20, StackWords: 1 << 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib := tech.Default()
+	res, err := iss.Run(mp, iss.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := &partition.Baseline{
+		TotalEnergy:        res.Energy * 2, // headroom stands in for cache/mem energy
+		MuPEnergy:          res.Energy,
+		RestEnergy:         res.Energy,
+		TotalCycles:        res.TotalCycles(),
+		Regions:            res.Regions,
+		Micro:              &lib.Micro,
+		ICacheAccessEnergy: cache.DefaultICache().AccessEnergy(lib.Cache),
+	}
+	return ir, profRes.Prof, base
+}
+
+// BenchmarkPartitionParallel times the Fig. 1 inner loop alone: the
+// cluster × resource-set grid fans out on Config.Workers workers (the
+// default tracks GOMAXPROCS, so `-cpu 1,2,4` sweeps the pool width) and
+// the MaxCores=3 rounds exercise the cross-round schedule/binding memo.
+// cache_hit_% is the memo hit rate.
+func BenchmarkPartitionParallel(b *testing.B) {
+	ir, prof, base := partitionInputs(b, "MPG")
+	var dec *partition.Decision
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dec, err = partition.Partition(ir, prof, base, partition.Config{MaxCores: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(dec.Memo.HitRate()*100, "cache_hit_%")
+	b.ReportMetric(float64(len(dec.Choices)), "cores")
+}
+
+// BenchmarkFig6Parallel regenerates the whole Figure 6 / Table 1 series
+// with the parallel engine: the six applications fan out onto the
+// exploration pool (one worker per GOMAXPROCS CPU, so `-cpu 1,2,4`
+// sweeps the width) while each evaluation's inner partitioning grid uses
+// the same width. The reported rows are byte-identical to the serial
+// BenchmarkFig6 path (see TestParallelEvaluationDeterministic);
+// cache_hit_% aggregates the schedule/binding memo over all six runs.
+func BenchmarkFig6Parallel(b *testing.B) {
+	list := apps.All()
+	srcs := make([]*behav.Program, len(list))
+	for i, a := range list {
+		src, err := a.Parse()
+		if err != nil {
+			b.Fatal(err)
+		}
+		srcs[i] = src
+	}
+	var evals []*system.Evaluation
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		evals, err = system.EvaluateAll(srcs, system.Config{}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	minSav, maxSav := 0.0, -100.0
+	var memo partition.MemoStats
+	for _, ev := range evals {
+		memo.Binds += ev.Decision.Memo.Binds
+		memo.Hits += ev.Decision.Memo.Hits
+		s := ev.Savings()
+		if s < minSav {
+			minSav = s
+		}
+		if s > maxSav {
+			maxSav = s
+		}
+	}
+	b.ReportMetric(-maxSav, "min_savings_%")
+	b.ReportMetric(-minSav, "max_savings_%")
+	b.ReportMetric(memo.HitRate()*100, "cache_hit_%")
 }
 
 // --- substrate micro-benchmarks ---------------------------------------

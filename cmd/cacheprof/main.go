@@ -28,6 +28,7 @@ func main() {
 	var (
 		appName = flag.String("app", "digs", "built-in application")
 		isweep  = flag.Bool("isweep", false, "sweep the instruction cache instead of the data cache")
+		jobs    = flag.Int("j", 0, "concurrent geometry replays (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -67,7 +68,9 @@ func main() {
 		}
 		pairs = append(pairs, [2]cache.Config{icfg, dcfg})
 	}
-	reps, err := rec.Trace.Sweep(pairs, lib)
+	// The recorded stream is replayed once per geometry; replays are
+	// independent, so they fan out across the worker pool.
+	reps, err := rec.Trace.SweepParallel(pairs, lib, *jobs)
 	if err != nil {
 		fatal(err)
 	}

@@ -5,24 +5,47 @@ import (
 
 	"lppart/internal/apps"
 	"lppart/internal/cache"
+	"lppart/internal/explore"
 	"lppart/internal/system"
 	"lppart/internal/tech"
 )
 
 // runAblation executes one of the DESIGN.md ablation studies (A1–A6).
-func runAblation(kind string, list []apps.App) error {
+// Each configuration point evaluates its applications concurrently on
+// `jobs` workers; rows print in application order regardless of jobs.
+func runAblation(kind string, list []apps.App, jobs int) error {
+	// sweep evaluates every application under the configuration mkCfg
+	// builds (fresh per call: some points mutate their library) and
+	// prints one row per application, in order.
+	sweep := func(mkCfg func() system.Config) error {
+		evals, err := explore.Map(jobs, list, func(_ int, a apps.App) (*system.Evaluation, error) {
+			ev, err := evaluate(a, mkCfg())
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			return ev, nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, ev := range evals {
+			printRow(ev)
+		}
+		return nil
+	}
+
 	switch kind {
 	case "F":
 		// A1: objective-function factor sweep.
 		fmt.Println("A1: objective factor F sweep (savings% / time% / chosen)")
 		for _, f := range []float64{0.25, 0.5, 1.0, 2.0, 4.0} {
 			fmt.Printf("F = %.2f\n", f)
-			for _, a := range list {
+			if err := sweep(func() system.Config {
 				cfg := system.Config{}
 				cfg.Part.F = f
-				if err := printOne(a, cfg); err != nil {
-					return err
-				}
+				return cfg
+			}); err != nil {
+				return err
 			}
 		}
 	case "preselect":
@@ -30,12 +53,12 @@ func runAblation(kind string, list []apps.App) error {
 		fmt.Println("A2: pre-selection budget N_max^c sweep")
 		for _, n := range []int{1, 2, 3, 5, 10} {
 			fmt.Printf("N_max^c = %d\n", n)
-			for _, a := range list {
+			if err := sweep(func() system.Config {
 				cfg := system.Config{}
 				cfg.Part.MaxClusters = n
-				if err := printOne(a, cfg); err != nil {
-					return err
-				}
+				return cfg
+			}); err != nil {
+				return err
 			}
 		}
 	case "rs":
@@ -44,12 +67,13 @@ func runAblation(kind string, list []apps.App) error {
 		all := tech.DefaultResourceSets()
 		for _, n := range []int{1, 3, 5} {
 			fmt.Printf("sets = %d\n", n)
-			for _, a := range list {
+			sets := all[:n]
+			if err := sweep(func() system.Config {
 				cfg := system.Config{}
-				cfg.Part.ResourceSets = all[:n]
-				if err := printOne(a, cfg); err != nil {
-					return err
-				}
+				cfg.Part.ResourceSets = sets
+				return cfg
+			}); err != nil {
+				return err
 			}
 		}
 	case "weighted":
@@ -57,30 +81,30 @@ func runAblation(kind string, list []apps.App) error {
 		fmt.Println("A4: size-weighted vs unweighted U_R (paper §3.4: partitions should not change)")
 		for _, w := range []bool{false, true} {
 			fmt.Printf("weighted = %v\n", w)
-			for _, a := range list {
+			if err := sweep(func() system.Config {
 				cfg := system.Config{}
 				cfg.Part.WeightedU = w
-				if err := printOne(a, cfg); err != nil {
-					return err
-				}
+				return cfg
+			}); err != nil {
+				return err
 			}
 		}
 	case "gated":
-		// A5: gated-clock µP core.
+		// A5: gated-clock µP core. Each evaluation gets its own library
+		// because the gated point rewrites the µP spec.
 		fmt.Println("A5: gated-clock µP core (the §3.1 premise weakens)")
 		for _, gated := range []bool{false, true} {
 			fmt.Printf("gated clocks = %v\n", gated)
-			for _, a := range list {
+			if err := sweep(func() system.Config {
 				cfg := system.Config{}
 				lib := tech.Default()
 				if gated {
-					m := lib.Micro.Gated(lib)
-					lib.Micro = m
+					lib.Micro = lib.Micro.Gated(lib)
 				}
 				cfg.Part.Lib = lib
-				if err := printOne(a, cfg); err != nil {
-					return err
-				}
+				return cfg
+			}); err != nil {
+				return err
 			}
 		}
 	case "cache":
@@ -98,11 +122,10 @@ func runAblation(kind string, list []apps.App) error {
 		}
 		for _, g := range geoms {
 			fmt.Printf("caches = %s\n", g.name)
-			for _, a := range list {
-				cfg := system.Config{ICache: g.i, DCache: g.d}
-				if err := printOne(a, cfg); err != nil {
-					return err
-				}
+			if err := sweep(func() system.Config {
+				return system.Config{ICache: g.i, DCache: g.d}
+			}); err != nil {
+				return err
 			}
 		}
 	case "cores":
@@ -110,12 +133,12 @@ func runAblation(kind string, list []apps.App) error {
 		fmt.Println("E1: multi-core partitioning (Eq. 3 with N cores, Fig. 3 synergy active)")
 		for _, n := range []int{1, 2, 3} {
 			fmt.Printf("max cores = %d\n", n)
-			for _, a := range list {
+			if err := sweep(func() system.Config {
 				cfg := system.Config{}
 				cfg.Part.MaxCores = n
-				if err := printOne(a, cfg); err != nil {
-					return err
-				}
+				return cfg
+			}); err != nil {
+				return err
 			}
 		}
 	case "future":
@@ -123,20 +146,18 @@ func runAblation(kind string, list []apps.App) error {
 		// control-dominated system, where the approach should find
 		// little to move.
 		fmt.Println("E2: control-dominated application (paper §5 future work)")
-		if err := printOne(apps.ControlDominated(), system.Config{}); err != nil {
-			return err
+		ev, err := evaluate(apps.ControlDominated(), system.Config{})
+		if err != nil {
+			return fmt.Errorf("%s: %w", apps.ControlDominated().Name, err)
 		}
+		printRow(ev)
 	default:
 		return fmt.Errorf("unknown ablation %q", kind)
 	}
 	return nil
 }
 
-func printOne(a apps.App, cfg system.Config) error {
-	ev, err := evaluate(a, cfg)
-	if err != nil {
-		return fmt.Errorf("%s: %w", a.Name, err)
-	}
+func printRow(ev *system.Evaluation) {
 	chosen := "none"
 	geq := 0
 	if ev.Decision.Chosen != nil {
@@ -149,6 +170,5 @@ func printOne(a apps.App, cfg system.Config) error {
 		geq = ev.Partitioned.GEQ // total over all cores
 	}
 	fmt.Printf("  %-7s savings %7.2f%%  time %7.2f%%  hw %5d  %s\n",
-		a.Name, ev.Savings(), ev.TimeChange(), geq, chosen)
-	return nil
+		ev.App, ev.Savings(), ev.TimeChange(), geq, chosen)
 }

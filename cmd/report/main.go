@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"lppart/internal/apps"
+	"lppart/internal/explore"
 	"lppart/internal/report"
 	"lppart/internal/system"
 )
@@ -33,6 +34,7 @@ func main() {
 		trail    = flag.Bool("trail", false, "print the partitioning decision trail")
 		appName  = flag.String("app", "", "restrict to one application")
 		ablation = flag.String("ablation", "", "run an ablation: F, preselect, rs, weighted, gated, cache")
+		jobs     = flag.Int("j", 0, "concurrent application evaluations (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 	if !*table1 && !*fig6 && !*hw && !*summary && !*trail && *ablation == "" {
@@ -52,23 +54,29 @@ func main() {
 	}
 
 	if *ablation != "" {
-		if err := runAblation(*ablation, list); err != nil {
+		if err := runAblation(*ablation, list, *jobs); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	evals := make([]*system.Evaluation, 0, len(list))
-	for _, a := range list {
+	// Fan the applications out on the exploration pool; evaluations come
+	// back in input order, so rows and trails print identically at any -j.
+	evals, err := explore.Map(*jobs, list, func(_ int, a apps.App) (*system.Evaluation, error) {
 		ev, err := evaluate(a, system.Config{})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", a.Name, err)
-			os.Exit(1)
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
-		evals = append(evals, ev)
-		if *trail {
-			fmt.Printf("== %s decision trail ==\n%s\n", a.Name, ev.Decision.Trail())
+		return ev, nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *trail {
+		for _, ev := range evals {
+			fmt.Printf("== %s decision trail ==\n%s\n", ev.App, ev.Decision.Trail())
 		}
 	}
 	if *table1 {

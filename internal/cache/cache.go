@@ -36,6 +36,23 @@ type Config struct {
 // SizeBytes returns the cache capacity in bytes.
 func (c Config) SizeBytes() int { return c.Sets * c.Assoc * c.LineWords * 4 }
 
+// AccessEnergy returns the analytical per-access energy of this geometry
+// in technology ct — row decode + tag compare per way + data array read +
+// output drive (see the package comment) — without building a cache core.
+// The geometry must be valid (see New); the partitioning baseline uses
+// this to price i-cache fetches removed by a partition.
+func (c Config) AccessEnergy(ct tech.CacheTech) units.Energy {
+	tagBits := 32 - int(math.Log2(float64(c.Sets))) - int(math.Log2(float64(c.LineWords))) - 2
+	if tagBits < 1 {
+		tagBits = 1
+	}
+	lineBits := c.LineWords * 32
+	return units.Energy(math.Log2(float64(c.Sets)))*ct.EDecodePerSetLog2 +
+		units.Energy(float64(tagBits*c.Assoc))*ct.ETagBit +
+		units.Energy(float64(lineBits))*ct.EDataBit +
+		ct.EOutputPerWord
+}
+
 func (c Config) validate() error {
 	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
 		return fmt.Errorf("cache: sets %d must be a positive power of two", c.Sets)
@@ -97,15 +114,7 @@ func New(name string, cfg Config, ct tech.CacheTech, backend *mem.Memory, b *bus
 		c.sets[i] = make([]line, cfg.Assoc)
 	}
 	// Analytical access energy from the geometry (see package comment).
-	tagBits := 32 - int(math.Log2(float64(cfg.Sets))) - int(math.Log2(float64(cfg.LineWords))) - 2
-	if tagBits < 1 {
-		tagBits = 1
-	}
-	lineBits := cfg.LineWords * 32
-	c.eAccess = units.Energy(math.Log2(float64(cfg.Sets)))*ct.EDecodePerSetLog2 +
-		units.Energy(float64(tagBits*cfg.Assoc))*ct.ETagBit +
-		units.Energy(float64(lineBits))*ct.EDataBit +
-		ct.EOutputPerWord
+	c.eAccess = cfg.AccessEnergy(ct)
 	return c, nil
 }
 

@@ -165,6 +165,27 @@ func TestEnergyAccounting(t *testing.T) {
 	}
 }
 
+func TestConfigAccessEnergyMatchesCore(t *testing.T) {
+	// The pure Config-level computation must agree exactly with the
+	// energy a built cache core accounts per access — it replaced the
+	// throwaway "probe" cache the system baseline used to build.
+	lib := tech.Default()
+	for _, cfg := range []Config{
+		DefaultICache(),
+		DefaultDCache(),
+		{Sets: 256, Assoc: 4, LineWords: 8, WriteBack: true},
+		{Sets: 1, Assoc: 1, LineWords: 1},
+	} {
+		c, err := New("probe", cfg, lib.Cache, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := cfg.AccessEnergy(lib.Cache), c.AccessEnergy(); got != want {
+			t.Errorf("%+v: Config.AccessEnergy = %v, core accounts %v", cfg, got, want)
+		}
+	}
+}
+
 func TestAccessEnergyScalesWithSize(t *testing.T) {
 	lib := tech.Default()
 	small, _ := New("s", Config{Sets: 64, Assoc: 1, LineWords: 4}, lib.Cache, nil, nil)

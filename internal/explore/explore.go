@@ -1,0 +1,74 @@
+// Package explore is the deterministic fan-out engine behind the
+// design-space exploration surfaces: the partitioning inner loop's
+// cluster × resource-set grid, the whole-application sweeps of cmd/report
+// (Table 1, Figure 6, ablations), the trace-replay geometry sweep of
+// cmd/cacheprof and the designer-interaction loops of
+// examples/designspace.
+//
+// The engine makes one promise the callers all rely on: the result of a
+// fan-out is a pure function of the inputs — identical at any worker
+// count, including 1. It achieves that by construction rather than by
+// coordination: every work item owns a pre-allocated result slot, items
+// are handed out by an atomic cursor, and the caller only observes the
+// slots after the pool has drained, in input order. Work functions must
+// be independent (no shared mutable state); everything they need travels
+// in through the item and out through the return value.
+package explore
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the fan-out width used when a caller passes a
+// non-positive worker count: one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Map evaluates fn over every item on a bounded worker pool and returns
+// the results in input order. workers <= 0 selects DefaultWorkers();
+// workers == 1 runs inline with no goroutines. fn receives the item's
+// index alongside the item so it can label work without capturing state.
+//
+// Every item is evaluated even when some fail; the returned error is the
+// lowest-index failure, so the (result, error) pair is deterministic at
+// any worker count.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	n := len(items)
+	out := make([]R, n)
+	errs := make([]error, n)
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range items {
+			out[i], errs[i] = fn(i, items[i])
+		}
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					out[i], errs[i] = fn(i, items[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package explore
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdered(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{0, 1, 2, 7, 100, 1000} {
+		out, err := Map(workers, items, func(i, v int) (int, error) {
+			return v * v, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != len(items) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(out), len(items))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Errorf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapFirstErrorWins(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, workers := range []int{1, 4, 8} {
+		_, err := Map(workers, items, func(i, v int) (int, error) {
+			if v >= 3 {
+				return 0, fmt.Errorf("fail %d", v)
+			}
+			return v, nil
+		})
+		if err == nil || err.Error() != "fail 3" {
+			t.Errorf("workers=%d: err = %v, want fail 3 (lowest index)", workers, err)
+		}
+	}
+}
+
+func TestMapEvaluatesAllDespiteErrors(t *testing.T) {
+	var calls atomic.Int64
+	items := make([]int, 20)
+	_, err := Map(4, items, func(i, _ int) (int, error) {
+		calls.Add(1)
+		if i == 0 {
+			return 0, fmt.Errorf("early")
+		}
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := calls.Load(); got != 20 {
+		t.Errorf("evaluated %d items, want all 20", got)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(4, nil, func(i, v int) (int, error) { return v, nil })
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty map: out=%v err=%v", out, err)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var active, peak atomic.Int64
+	items := make([]int, 64)
+	done := make(chan struct{}, len(items))
+	_, err := Map(workers, items, func(i, _ int) (int, error) {
+		n := active.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		done <- struct{}{}
+		active.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds worker bound %d", p, workers)
+	}
+	if len(done) != len(items) {
+		t.Errorf("%d items ran, want %d", len(done), len(items))
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Errorf("DefaultWorkers() = %d, want >= 1", DefaultWorkers())
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"lppart/internal/asic"
 	"lppart/internal/cdfg"
+	"lppart/internal/explore"
 	"lppart/internal/interp"
 	"lppart/internal/iss"
 	"lppart/internal/sched"
@@ -50,6 +51,12 @@ type Config struct {
 	// WeightedU switches Eq. 4 to size-weighted utilization (ablation
 	// A4; the paper argues and we verify it does not change partitions).
 	WeightedU bool
+	// Workers bounds the number of concurrent (cluster, resource set)
+	// evaluations of the Fig. 1 inner loop. 0 selects
+	// runtime.GOMAXPROCS(0); 1 forces a serial run. The Decision is
+	// byte-identical at any worker count: grid results are merged in
+	// deterministic (cluster rank, set index) order.
+	Workers int
 }
 
 func (c *Config) defaults() {
@@ -78,6 +85,9 @@ func (c *Config) defaults() {
 		c.TimeWeight = 1.0
 	} else if c.TimeWeight == 0 {
 		c.TimeWeight = 1.0
+	}
+	if c.Workers <= 0 {
+		c.Workers = explore.DefaultWorkers()
 	}
 }
 
@@ -168,6 +178,23 @@ type Choice struct {
 	Eval    *SetEval
 }
 
+// MemoStats reports the effectiveness of the cross-round schedule/binding
+// memo: Binds counts (cluster, resource set) pairs scheduled and bound
+// from scratch, Hits counts pairs whose Fig. 4 result a later MaxCores
+// round reused, recomputing only the objective-function arithmetic.
+type MemoStats struct {
+	Binds int
+	Hits  int
+}
+
+// HitRate returns Hits/(Hits+Binds), 0 when nothing was evaluated.
+func (m MemoStats) HitRate() float64 {
+	if m.Hits+m.Binds == 0 {
+		return 0
+	}
+	return float64(m.Hits) / float64(m.Hits+m.Binds)
+}
+
 // Decision is the complete outcome of the partitioning process, including
 // the decision trail for every cluster considered.
 type Decision struct {
@@ -179,6 +206,16 @@ type Decision struct {
 	Choices    []*Choice
 	BaselineOF float64
 	Candidates []*Candidate
+	// Memo reports how often the multi-core rounds reused schedules and
+	// bindings instead of recomputing them.
+	Memo MemoStats
+}
+
+// memoKey identifies one (cluster, resource set) pair in the cross-round
+// schedule/binding memo.
+type memoKey struct {
+	region int // region ID
+	set    int // resource-set index
 }
 
 // Partition runs the Fig. 1 process over the program: decompose into
@@ -246,10 +283,28 @@ func Partition(p *cdfg.Program, prof *interp.Profile, base *Baseline, cfg Config
 	// objective value is F·E_0/E_0 = F), then repeat with the baseline
 	// shifted by the accepted cluster and the synergy discounts enabled
 	// for its siblings.
+	//
+	// The grid fans out on a bounded worker pool (Config.Workers) and
+	// schedules/bindings are memoized across rounds: Fig. 1 lines 8-10
+	// depend only on (cluster, resource set), so rounds >= 2 reuse them
+	// and recompute only the objective-function arithmetic.
 	round := *base
 	inHW := make(map[int]bool) // region IDs already in hardware
+	memo := make(map[memoKey]*bindResult)
+	type gridTask struct {
+		c              *Candidate
+		si             int
+		prevHW, nextHW bool
+	}
+	type gridResult struct {
+		ev    *SetEval
+		br    *bindResult
+		fresh bool // schedule+bind computed this round (memo miss)
+	}
 	for core := 0; core < cfg.MaxCores; core++ {
-		var best *Choice
+		// Collect this round's grid in deterministic order: pool order
+		// (pre-selection rank), then resource-set index.
+		var tasks []gridTask
 		for _, c := range pool {
 			if overlapsChosen(c.Region, inHW, p) {
 				continue
@@ -257,20 +312,41 @@ func Partition(p *cdfg.Program, prof *interp.Profile, base *Baseline, cfg Config
 			prev, next := siblings(c.Region)
 			prevHW := prev != nil && inHW[prev.ID]
 			nextHW := next != nil && inHW[next.ID]
-			var evs []*SetEval
 			for si := range cfg.ResourceSets {
-				rs := &cfg.ResourceSets[si]
-				ev := evaluate(p, prof, &round, cfg, c, rs, prevHW, nextHW)
-				evs = append(evs, ev)
-				if !ev.Eligible {
-					continue
-				}
-				if best == nil || ev.OF < best.Eval.OF {
-					best = &Choice{Region: c.Region, RS: rs, Binding: ev.Binding, Eval: ev}
-				}
+				tasks = append(tasks, gridTask{c, si, prevHW, nextHW})
+			}
+		}
+		// Fan out. The memo is read-only during the fan-out (each round's
+		// grid visits a (region, set) pair at most once; fresh entries are
+		// merged after the barrier), so the workers share it lock-free.
+		results, _ := explore.Map(cfg.Workers, tasks, func(_ int, t gridTask) (gridResult, error) {
+			rs := &cfg.ResourceSets[t.si]
+			br, ok := memo[memoKey{t.c.Region.ID, t.si}]
+			if !ok {
+				br = scheduleBind(prof, cfg, t.c, rs)
+			}
+			return gridResult{evaluate(&round, cfg, t.c, rs, br, t.prevHW, t.nextHW), br, !ok}, nil
+		})
+		// Merge in grid order: memo inserts and hit accounting, the
+		// first-round decision trail, and the minimum-OF selection — the
+		// exact order the serial loop used, so the Decision is identical.
+		var best *Choice
+		for i, r := range results {
+			t := tasks[i]
+			if r.fresh {
+				memo[memoKey{t.c.Region.ID, t.si}] = r.br
+				dec.Memo.Binds++
+			} else {
+				dec.Memo.Hits++
 			}
 			if core == 0 {
-				c.Evals = evs // the trail shows the first round
+				t.c.Evals = append(t.c.Evals, r.ev) // the trail shows the first round
+			}
+			if !r.ev.Eligible {
+				continue
+			}
+			if best == nil || r.ev.OF < best.Eval.OF {
+				best = &Choice{Region: t.c.Region, RS: r.ev.RS, Binding: r.ev.Binding, Eval: r.ev}
 			}
 		}
 		if best == nil || best.Eval.OF >= dec.BaselineOF {
@@ -357,31 +433,62 @@ func invocationsOf(prof *interp.Profile, r *cdfg.Region) int64 {
 	return prof.RegionEntries(r)
 }
 
-// evaluate runs Fig. 1 lines 8-13 for one (cluster, resource set) pair.
-// prevHW/nextHW enable Fig. 3's synergy discounts (steps 2/4) when the
-// neighbouring sibling cluster is already implemented in hardware.
-func evaluate(p *cdfg.Program, prof *interp.Profile, base *Baseline, cfg Config,
-	c *Candidate, rs *tech.ResourceSet, prevHW, nextHW bool) *SetEval {
-	ev := &SetEval{RS: rs}
+// bindResult is the baseline-independent half of one (cluster, resource
+// set) evaluation: Fig. 1 lines 8-10 (list schedule, Fig. 4 binding,
+// hardware effort, ASIC-side utilization). It depends only on the cluster,
+// the resource set and the static configuration — not on the shifted
+// baseline or the synergy flags — so the MaxCores rounds memoize it.
+type bindResult struct {
+	err     error
+	reason  string
+	binding *asic.Binding
+	geq     int
+	uASIC   float64
+}
+
+// scheduleBind runs the expensive half: Fig. 1 line 8's list schedule and
+// Fig. 4's instance binding.
+func scheduleBind(prof *interp.Profile, cfg Config, c *Candidate, rs *tech.ResourceSet) *bindResult {
+	br := &bindResult{}
 	// Line 8: list schedule.
 	rsched, err := sched.ScheduleRegion(sched.Config{Lib: cfg.Lib, RS: rs, MemPorts: cfg.MemPorts}, c.Region)
 	if err != nil {
-		ev.Err = err
-		ev.Reason = "unschedulable: " + err.Error()
-		return ev
+		br.err = err
+		br.reason = "unschedulable: " + err.Error()
+		return br
 	}
 	// Fig. 4: bind, GEQ, U_R.
 	binding, err := asic.Bind(rsched, cfg.Lib, func(bid int) int64 {
 		return prof.BlockCount(c.Region.Func, bid)
 	})
 	if err != nil {
-		ev.Err = err
-		ev.Reason = "binding failed: " + err.Error()
+		br.err = err
+		br.reason = "binding failed: " + err.Error()
+		return br
+	}
+	br.binding = binding
+	br.geq = binding.GEQTotal()
+	br.uASIC = utilizationRate(binding, cfg)
+	return br
+}
+
+// evaluate runs the cheap half of Fig. 1 lines 8-13 for one (cluster,
+// resource set) pair on top of a (possibly memoized) schedule+binding:
+// eligibility, energy estimates and the objective function. prevHW/nextHW
+// enable Fig. 3's synergy discounts (steps 2/4) when the neighbouring
+// sibling cluster is already implemented in hardware.
+func evaluate(base *Baseline, cfg Config,
+	c *Candidate, rs *tech.ResourceSet, br *bindResult, prevHW, nextHW bool) *SetEval {
+	ev := &SetEval{RS: rs}
+	if br.err != nil {
+		ev.Err = br.err
+		ev.Reason = br.reason
 		return ev
 	}
+	binding := br.binding
 	ev.Binding = binding
-	ev.GEQ = binding.GEQTotal()
-	ev.UASIC = utilizationRate(binding, cfg)
+	ev.GEQ = br.geq
+	ev.UASIC = br.uASIC
 	ev.UMuP = c.MuP.Utilization(base.Micro)
 	if cfg.WeightedU {
 		// Apples to apples: when U_R is size-weighted, weight the µP

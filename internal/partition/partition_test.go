@@ -326,6 +326,72 @@ func main() {
 	}
 }
 
+func TestMemoReusesScheduleBinds(t *testing.T) {
+	ir, prof, base := setup(t, hotLoopSrc)
+	dec, err := Partition(ir, prof, base, Config{MaxCores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Chosen == nil {
+		t.Fatalf("expected a partition so a second round runs:\n%s", dec.Trail())
+	}
+	pre := 0
+	for _, c := range dec.Candidates {
+		if c.Preselected {
+			pre++
+		}
+	}
+	sets := len(tech.DefaultResourceSets())
+	// Round 1 schedules+binds every pre-selected (cluster, set) pair from
+	// scratch; the second round's grid (everything not overlapping the
+	// chosen cluster) is a subset, so it must be served entirely from the
+	// memo — zero new schedule/bind calls.
+	if want := pre * sets; dec.Memo.Binds != want {
+		t.Errorf("Memo.Binds = %d, want %d (one per round-1 grid pair)", dec.Memo.Binds, want)
+	}
+	if want := (pre - 1) * sets; dec.Memo.Hits != want {
+		t.Errorf("Memo.Hits = %d, want %d (round 2 = grid minus the chosen cluster)",
+			dec.Memo.Hits, want)
+	}
+	if hr := dec.Memo.HitRate(); hr <= 0 || hr >= 1 {
+		t.Errorf("HitRate() = %v, want in (0,1)", hr)
+	}
+}
+
+func TestMemoUnusedSingleCore(t *testing.T) {
+	ir, prof, base := setup(t, hotLoopSrc)
+	dec, err := Partition(ir, prof, base, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single Fig. 1 pass visits every (cluster, set) pair exactly once:
+	// no reuse opportunity, and the memo must not invent one.
+	if dec.Memo.Hits != 0 {
+		t.Errorf("Memo.Hits = %d in a MaxCores=1 run, want 0", dec.Memo.Hits)
+	}
+	if dec.Memo.Binds == 0 {
+		t.Error("Memo.Binds = 0, want one per evaluated grid pair")
+	}
+}
+
+func TestPartitionWorkersDeterministic(t *testing.T) {
+	ir, prof, base := setup(t, hotLoopSrc)
+	trail := func(workers int) string {
+		dec, err := Partition(ir, prof, base, Config{Workers: workers, MaxCores: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dec.Trail()
+	}
+	serial := trail(1)
+	for _, w := range []int{2, 8, 32} {
+		if got := trail(w); got != serial {
+			t.Errorf("Workers=%d decision trail diverges from serial:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				w, serial, w, got)
+		}
+	}
+}
+
 func TestConfigDefaults(t *testing.T) {
 	var c Config
 	c.defaults()

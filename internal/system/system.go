@@ -17,6 +17,7 @@ import (
 	"lppart/internal/cache"
 	"lppart/internal/cdfg"
 	"lppart/internal/codegen"
+	"lppart/internal/explore"
 	"lppart/internal/interp"
 	"lppart/internal/isa"
 	"lppart/internal/iss"
@@ -180,9 +181,27 @@ type isaProgram struct {
 	lay  *codegen.Layout
 }
 
+// EvaluateAll runs the full design flow for several applications
+// concurrently on a bounded worker pool (workers <= 0 selects one worker
+// per CPU) and returns the evaluations in input order. Evaluate is
+// re-entrant — every run builds its own IR, designs, caches and cores —
+// so concurrent evaluations share only read-only state (the technology
+// library and resource sets of cfg, and the source ASTs).
+func EvaluateAll(srcs []*behav.Program, cfg Config, workers int) ([]*Evaluation, error) {
+	return explore.Map(workers, srcs, func(_ int, src *behav.Program) (*Evaluation, error) {
+		ev, err := Evaluate(src, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", src.Name, err)
+		}
+		return ev, nil
+	})
+}
+
 // Evaluate runs the full design flow for one application: behavioral
 // source → IR → profile → initial design → partitioning → partitioned
 // design, with a functional cross-check between the two designs.
+// Evaluate is safe for concurrent use: it mutates nothing reachable from
+// its arguments.
 func Evaluate(src *behav.Program, cfg Config) (*Evaluation, error) {
 	cfg.defaults()
 	ir, err := cdfg.Build(src)
@@ -219,10 +238,6 @@ func EvaluateIR(ir *cdfg.Program, cfg Config) (*Evaluation, error) {
 	ev.Initial = initial
 
 	// Partitioning (Fig. 1).
-	icAccess, err := cache.New("probe", cfg.ICache, lib.Cache, nil, nil)
-	if err != nil {
-		return nil, err
-	}
 	base := &partition.Baseline{
 		TotalEnergy:        initial.Total(),
 		MuPEnergy:          initial.EMuP,
@@ -230,7 +245,7 @@ func EvaluateIR(ir *cdfg.Program, cfg Config) (*Evaluation, error) {
 		TotalCycles:        initial.TotalCycles(),
 		Regions:            initial.ISS.Regions,
 		Micro:              micro,
-		ICacheAccessEnergy: icAccess.AccessEnergy(),
+		ICacheAccessEnergy: cfg.ICache.AccessEnergy(lib.Cache),
 	}
 	dec, err := partition.Partition(ir, profRes.Prof, base, cfg.Part)
 	if err != nil {

@@ -329,7 +329,11 @@ type BusTech struct {
 	EWriteWord units.Energy // µP/ASIC writing one word over the bus
 }
 
-// Library bundles the whole technology description.
+// Library bundles the whole technology description. A Library is treated
+// as immutable once built and is therefore safe to share across the
+// concurrent evaluations of the exploration engine; configurations that
+// rewrite part of it (e.g. the A5 ablation's Micro = Micro.Gated(lib))
+// must build their own copy via Default() rather than mutate a shared one.
 type Library struct {
 	Name      string
 	resources [NumResourceKinds]Resource

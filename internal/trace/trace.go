@@ -14,6 +14,7 @@ import (
 
 	"lppart/internal/bus"
 	"lppart/internal/cache"
+	"lppart/internal/explore"
 	"lppart/internal/iss"
 	"lppart/internal/mem"
 	"lppart/internal/tech"
@@ -143,18 +144,21 @@ func (t *Trace) Replay(icfg, dcfg cache.Config, lib *tech.Library) (Report, erro
 	}, nil
 }
 
-// Sweep replays the trace against every geometry pair and returns the
-// reports in input order.
+// Sweep replays the trace against every geometry pair serially and
+// returns the reports in input order.
 func (t *Trace) Sweep(pairs [][2]cache.Config, lib *tech.Library) ([]Report, error) {
-	out := make([]Report, 0, len(pairs))
-	for _, pr := range pairs {
-		rep, err := t.Replay(pr[0], pr[1], lib)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, rep)
-	}
-	return out, nil
+	return t.SweepParallel(pairs, lib, 1)
+}
+
+// SweepParallel replays the trace against every geometry pair on a
+// bounded worker pool (workers <= 0 selects one worker per CPU). Each
+// replay builds fresh cache/memory/bus cores and only reads the recorded
+// stream, so replays are independent; reports come back in input order
+// and are identical at any worker count.
+func (t *Trace) SweepParallel(pairs [][2]cache.Config, lib *tech.Library, workers int) ([]Report, error) {
+	return explore.Map(workers, pairs, func(_ int, pr [2]cache.Config) (Report, error) {
+		return t.Replay(pr[0], pr[1], lib)
+	})
 }
 
 // Counts returns the number of fetches, reads and writes in the trace.

@@ -119,6 +119,37 @@ func TestSweepMonotoneCapacity(t *testing.T) {
 	}
 }
 
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	tr := record(t, walker)
+	lib := tech.Default()
+	var pairs [][2]cache.Config
+	for _, sets := range []int{16, 64, 256} {
+		pairs = append(pairs, [2]cache.Config{
+			cache.DefaultICache(),
+			{Sets: sets, Assoc: 2, LineWords: 4, WriteBack: true},
+		})
+	}
+	serial, err := tr.Sweep(pairs, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		par, err := tr.SweepParallel(pairs, lib, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d reports, want %d", workers, len(par), len(serial))
+		}
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Errorf("workers=%d pair %d: parallel report %v != serial %v",
+					workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
 func TestReplayDeterministic(t *testing.T) {
 	tr := record(t, walker)
 	lib := tech.Default()
