@@ -29,6 +29,7 @@ import (
 	"lppart/internal/sched"
 	"lppart/internal/system"
 	"lppart/internal/tech"
+	"lppart/internal/trace"
 )
 
 // evaluateApp runs the full Table 1 flow for one application.
@@ -342,6 +343,85 @@ func BenchmarkFig6Parallel(b *testing.B) {
 	b.ReportMetric(-maxSav, "min_savings_%")
 	b.ReportMetric(-minSav, "max_savings_%")
 	b.ReportMetric(memo.HitRate()*100, "cache_hit_%")
+}
+
+// --- single-pass cache profiler ---------------------------------------
+
+// recordAppTrace records one application's full reference stream once,
+// outside the timed section.
+func recordAppTrace(b *testing.B, name string) *trace.Trace {
+	b.Helper()
+	a, err := apps.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := a.Parse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mp, _, err := codegen.Compile(cdfg.MustBuild(src), codegen.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := &trace.Recorder{}
+	if _, err := iss.Run(mp, iss.Options{Mem: rec}); err != nil {
+		b.Fatal(err)
+	}
+	return &rec.Trace
+}
+
+// sweepBenchGrid is the 28-point geometry grid (7 set counts x 4 ways,
+// one line size) both sweep benchmarks evaluate.
+func sweepBenchGrid() [][2]cache.Config {
+	var pairs [][2]cache.Config
+	for _, sets := range []int{16, 32, 64, 128, 256, 512, 1024} {
+		for _, assoc := range []int{1, 2, 4, 8} {
+			pairs = append(pairs, [2]cache.Config{
+				cache.DefaultICache(),
+				{Sets: sets, Assoc: assoc, LineWords: 4, WriteBack: true},
+			})
+		}
+	}
+	return pairs
+}
+
+// BenchmarkSweepStack times the single-pass stack-distance sweep: one
+// trace pass (the grid shares its line size) serves all 28 geometries.
+// trace_visits counts how often a trace access is decoded per sweep —
+// the axis on which the stack profiler beats naive replay.
+func BenchmarkSweepStack(b *testing.B) {
+	tr := recordAppTrace(b, "digs")
+	pairs := sweepBenchGrid()
+	lib := tech.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.SweepParallel(pairs, lib, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	passes := trace.Passes(pairs)
+	b.ReportMetric(float64(passes), "passes")
+	b.ReportMetric(float64(int64(passes)*tr.Len()), "trace_visits")
+	b.ReportMetric(float64(tr.Bytes()), "trace_bytes")
+	b.ReportMetric(float64(len(pairs)), "geometries")
+}
+
+// BenchmarkSweepReplay is the naive baseline: one full replay per
+// geometry pair (28 trace passes for the same grid).
+func BenchmarkSweepReplay(b *testing.B) {
+	tr := recordAppTrace(b, "digs")
+	pairs := sweepBenchGrid()
+	lib := tech.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.SweepReplay(pairs, lib, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(pairs)), "passes")
+	b.ReportMetric(float64(int64(len(pairs))*tr.Len()), "trace_visits")
+	b.ReportMetric(float64(tr.Bytes()), "trace_bytes")
+	b.ReportMetric(float64(len(pairs)), "geometries")
 }
 
 // --- substrate micro-benchmarks ---------------------------------------

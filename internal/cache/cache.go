@@ -14,13 +14,18 @@ package cache
 
 import (
 	"fmt"
-	"math"
+	"math/bits"
 
 	"lppart/internal/bus"
 	"lppart/internal/mem"
 	"lppart/internal/tech"
 	"lppart/internal/units"
 )
+
+// MaxAssoc bounds Config.Assoc independently of Sets: a 64k-way set is
+// already far beyond any buildable CAM, so larger values are treated as
+// geometry-generator bugs rather than design points.
+const MaxAssoc = 1 << 16
 
 // Config is a cache geometry.
 type Config struct {
@@ -36,24 +41,51 @@ type Config struct {
 // SizeBytes returns the cache capacity in bytes.
 func (c Config) SizeBytes() int { return c.Sets * c.Assoc * c.LineWords * 4 }
 
+// TagBits returns the tag-field width of this geometry: a 32-bit byte
+// address minus the set-index and line-offset bits, floored at one. The
+// geometry must be valid (see New): Sets and LineWords are powers of two,
+// so the field widths are exact integers (math/bits, no float rounding).
+func (c Config) TagBits() int {
+	tagBits := 32 - bits.TrailingZeros(uint(c.Sets)) - bits.TrailingZeros(uint(c.LineWords)) - 2
+	if tagBits < 1 {
+		tagBits = 1
+	}
+	return tagBits
+}
+
 // AccessEnergy returns the analytical per-access energy of this geometry
 // in technology ct — row decode + tag compare per way + data array read +
 // output drive (see the package comment) — without building a cache core.
 // The geometry must be valid (see New); the partitioning baseline uses
 // this to price i-cache fetches removed by a partition.
 func (c Config) AccessEnergy(ct tech.CacheTech) units.Energy {
-	tagBits := 32 - int(math.Log2(float64(c.Sets))) - int(math.Log2(float64(c.LineWords))) - 2
-	if tagBits < 1 {
-		tagBits = 1
-	}
+	setsLog2 := bits.TrailingZeros(uint(c.Sets))
 	lineBits := c.LineWords * 32
-	return units.Energy(math.Log2(float64(c.Sets)))*ct.EDecodePerSetLog2 +
-		units.Energy(float64(tagBits*c.Assoc))*ct.ETagBit +
+	return units.Energy(float64(setsLog2))*ct.EDecodePerSetLog2 +
+		units.Energy(float64(c.TagBits()*c.Assoc))*ct.ETagBit +
 		units.Energy(float64(lineBits))*ct.EDataBit +
 		ct.EOutputPerWord
 }
 
-func (c Config) validate() error {
+// RefillWords returns the words read from main memory by n line refills
+// (misses) of this geometry. Exported so the single-pass profiler prices
+// misses with the same arithmetic a live core would.
+func (c Config) RefillWords(misses int64) int64 { return misses * int64(c.LineWords) }
+
+// WriteBackWords returns the words written to main memory by n dirty-line
+// write-backs of this geometry.
+func (c Config) WriteBackWords(writeBacks int64) int64 { return writeBacks * int64(c.LineWords) }
+
+// MissStalls returns the stall cycles n refills plus m write-backs cost
+// against memory technology mt — exactly the sum of the per-access stalls
+// Access and Flush would have returned for the same counts.
+func (c Config) MissStalls(mt tech.MemoryTech, misses, writeBacks int64) int64 {
+	return int64(mt.LatencyCycles) * (c.RefillWords(misses) + c.WriteBackWords(writeBacks))
+}
+
+// Validate checks the geometry: power-of-two sets and line size, positive
+// associativity within MaxAssoc.
+func (c Config) Validate() error {
 	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
 		return fmt.Errorf("cache: sets %d must be a positive power of two", c.Sets)
 	}
@@ -62,6 +94,9 @@ func (c Config) validate() error {
 	}
 	if c.Assoc <= 0 {
 		return fmt.Errorf("cache: associativity %d must be positive", c.Assoc)
+	}
+	if c.Assoc > MaxAssoc {
+		return fmt.Errorf("cache: associativity %d exceeds MaxAssoc %d", c.Assoc, MaxAssoc)
 	}
 	return nil
 }
@@ -105,7 +140,7 @@ type Cache struct {
 // isolation (misses then cost no memory/bus energy, only their stall
 // cycles are skipped).
 func New(name string, cfg Config, ct tech.CacheTech, backend *mem.Memory, b *bus.Bus) (*Cache, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	c := &Cache{Name: name, Cfg: cfg, backend: backend, bus: b}
@@ -149,16 +184,23 @@ func (c *Cache) Access(addr int32, write bool) (stall int) {
 			return 0
 		}
 	}
-	// Miss: choose LRU victim, write back if dirty, refill.
+	// Miss: fill the first invalid way if any remain; only a full set
+	// evicts, and then strictly the LRU way. (Scanning for the LRU and
+	// the first invalid way together used to skip an invalid way 0.)
 	c.Stats.Misses++
-	victim := 0
-	for i := 1; i < len(set); i++ {
+	victim := -1
+	for i := range set {
 		if !set[i].valid {
 			victim = i
 			break
 		}
-		if set[i].lru < set[victim].lru {
-			victim = i
+	}
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < set[victim].lru {
+				victim = i
+			}
 		}
 	}
 	stall = 0

@@ -8,6 +8,7 @@ import (
 	"lppart/internal/bus"
 	"lppart/internal/mem"
 	"lppart/internal/tech"
+	"lppart/internal/units"
 )
 
 func newTestCache(t *testing.T, cfg Config) (*Cache, *mem.Memory, *bus.Bus) {
@@ -280,5 +281,97 @@ func TestWorkingSetResidency(t *testing.T) {
 	// Second pass: all 256 accesses hit.
 	if c.Stats.Hits < 256+192 { // first pass: 64 misses + 192 hits
 		t.Errorf("hits = %d, want >= 448", c.Stats.Hits)
+	}
+}
+
+func TestAssocBound(t *testing.T) {
+	lib := tech.Default()
+	if _, err := New("x", Config{Sets: 1, Assoc: MaxAssoc + 1, LineWords: 4}, lib.Cache, nil, nil); err == nil {
+		t.Errorf("associativity beyond MaxAssoc (%d) should be rejected", MaxAssoc)
+	}
+	if err := (Config{Sets: 1, Assoc: MaxAssoc, LineWords: 4}).Validate(); err != nil {
+		t.Errorf("associativity MaxAssoc must validate: %v", err)
+	}
+}
+
+func TestTagBitsPinned(t *testing.T) {
+	// Pin the tag widths of the reference geometries and the largest
+	// swept one: 32-bit byte address minus set-index and line-offset
+	// fields. A float-log regression would shift these on large
+	// power-of-two geometries.
+	cases := []struct {
+		cfg  Config
+		want int
+	}{
+		{DefaultICache(), 21},                                 // 128 sets, 4-word lines: 32-7-2-2
+		{DefaultDCache(), 22},                                 // 64 sets: 32-6-2-2
+		{Config{Sets: 1024, Assoc: 8, LineWords: 4}, 18},      // largest swept: 32-10-2-2
+		{Config{Sets: 1 << 20, Assoc: 1, LineWords: 256}, 2},  // 32-20-8-2
+		{Config{Sets: 1 << 24, Assoc: 1, LineWords: 1024}, 1}, // floored at 1
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.TagBits(); got != tc.want {
+			t.Errorf("TagBits(%+v) = %d, want %d", tc.cfg, got, tc.want)
+		}
+	}
+}
+
+func TestAccessEnergyMatchesFloatLogFormula(t *testing.T) {
+	// The bit-twiddled AccessEnergy must be byte-identical to the float
+	// formula it replaced on every power-of-two geometry.
+	ct := tech.Default().Cache
+	for _, sets := range []int{1, 16, 128, 1024, 1 << 16} {
+		for _, lw := range []int{1, 4, 32} {
+			cfg := Config{Sets: sets, Assoc: 2, LineWords: lw}
+			tagBits := 32 - int(math.Log2(float64(sets))) - int(math.Log2(float64(lw))) - 2
+			if tagBits < 1 {
+				tagBits = 1
+			}
+			want := units.Energy(math.Log2(float64(sets)))*ct.EDecodePerSetLog2 +
+				units.Energy(float64(tagBits*cfg.Assoc))*ct.ETagBit +
+				units.Energy(float64(lw*32))*ct.EDataBit +
+				ct.EOutputPerWord
+			if got := cfg.AccessEnergy(ct); got != want {
+				t.Errorf("AccessEnergy(%+v) = %v, want %v", cfg, got, want)
+			}
+		}
+	}
+}
+
+func TestVictimFillsFirstInvalidWay(t *testing.T) {
+	// Regression for the victim scan: it used to start the LRU compare
+	// at way 1 and break on the first invalid way it met, so an empty
+	// set filled way 1 first and left invalid ways interleaved behind
+	// valid ones. Misses must fill ways in index order while any way is
+	// invalid, and only a full set may evict (strictly the LRU way).
+	c, _, _ := newTestCache(t, Config{Sets: 1, Assoc: 4, LineWords: 1, WriteBack: true})
+	for i, addr := range []int32{10, 20, 30, 40} {
+		c.Access(addr, false)
+		for w := 0; w <= i; w++ {
+			if !c.sets[0][w].valid {
+				t.Fatalf("after %d fills, way %d is still invalid", i+1, w)
+			}
+		}
+		for w := i + 1; w < 4; w++ {
+			if c.sets[0][w].valid {
+				t.Fatalf("after %d fills, way %d is valid early (fill out of order)", i+1, w)
+			}
+		}
+	}
+	if c.sets[0][0].tag != 10 {
+		t.Errorf("way 0 holds tag %d, want the first fill (10)", c.sets[0][0].tag)
+	}
+	// No valid line may have been evicted while ways were free: every
+	// fill must still hit.
+	for _, addr := range []int32{10, 20, 30, 40} {
+		if c.Access(addr, false); c.Stats.Misses != 4 {
+			t.Fatalf("address %d was evicted while invalid ways remained", addr)
+		}
+	}
+	// Full set: eviction is strictly LRU (10 is oldest by now).
+	c.Access(50, false)
+	c.Access(10, false)
+	if c.Stats.Misses != 6 {
+		t.Error("LRU way (tag 10) must have been the eviction victim")
 	}
 }

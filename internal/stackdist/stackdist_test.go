@@ -1,0 +1,176 @@
+package stackdist
+
+import (
+	"math/rand"
+	"testing"
+
+	"lppart/internal/cache"
+	"lppart/internal/tech"
+)
+
+// ref is one access of a synthetic stream.
+type ref struct {
+	addr  int32
+	write bool
+}
+
+// streams builds adversarial access patterns: tight loops, strides that
+// thrash one set, random scatter, and mixes with interleaved stores.
+func streams() map[string][]ref {
+	rng := rand.New(rand.NewSource(7))
+	out := map[string][]ref{}
+
+	var seq []ref
+	for i := 0; i < 4000; i++ {
+		seq = append(seq, ref{addr: int32(i % 700), write: i%5 == 0})
+	}
+	out["sequential-loop"] = seq
+
+	var stride []ref
+	for i := 0; i < 4000; i++ {
+		stride = append(stride, ref{addr: int32((i * 64) % 4096), write: i%3 == 0})
+	}
+	out["set-thrash"] = stride
+
+	var rnd []ref
+	for i := 0; i < 6000; i++ {
+		rnd = append(rnd, ref{addr: int32(rng.Intn(2048)), write: rng.Intn(4) == 0})
+	}
+	out["random"] = rnd
+
+	var mix []ref
+	for i := 0; i < 5000; i++ {
+		switch i % 3 {
+		case 0:
+			mix = append(mix, ref{addr: int32(i % 97)})
+		case 1:
+			mix = append(mix, ref{addr: int32(rng.Intn(8192)), write: true})
+		default:
+			mix = append(mix, ref{addr: int32((i * 17) % 1024)})
+		}
+	}
+	out["mixed"] = mix
+	return out
+}
+
+// TestMatchesCacheSim is the ground-truth differential: for every stream,
+// line size and (sets, assoc) geometry, one profiler pass must reproduce
+// the exact Stats of a dedicated cache.Cache simulation (including the
+// end-of-run flush write-backs).
+func TestMatchesCacheSim(t *testing.T) {
+	lib := tech.Default()
+	setGrid := []int{1, 2, 4, 8, 16, 64}
+	assocGrid := []int{1, 2, 3, 4, 8}
+	for name, refs := range streams() {
+		for _, lw := range []int{1, 4} {
+			p, err := New(lw, setGrid, 8, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range refs {
+				p.Access(r.addr, r.write)
+			}
+			for _, sets := range setGrid {
+				for _, assoc := range assocGrid {
+					cfg := cache.Config{Sets: sets, Assoc: assoc, LineWords: lw, WriteBack: true}
+					c, err := cache.New("ref", cfg, lib.Cache, nil, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, r := range refs {
+						c.Access(r.addr, r.write)
+					}
+					c.Flush()
+					got, err := p.Stats(sets, assoc)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != c.Stats {
+						t.Errorf("%s lw=%d sets=%d assoc=%d: profiler %+v != simulated %+v",
+							name, lw, sets, assoc, got, c.Stats)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReadOnlyProfiler checks the instruction-stream mode: no write-back
+// tracking, stores rejected.
+func TestReadOnlyProfiler(t *testing.T) {
+	p, err := New(4, []int{4, 16}, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		p.Access(int32(i%37), false)
+	}
+	s, err := p.Stats(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.WriteBacks != 0 {
+		t.Errorf("read-only profiler reported %d write-backs", s.WriteBacks)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("store on a read-only profiler must panic")
+		}
+	}()
+	p.Access(0, true)
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(3, []int{16}, 2, true); err == nil {
+		t.Error("non-power-of-two line size accepted")
+	}
+	if _, err := New(4, []int{12}, 2, true); err == nil {
+		t.Error("non-power-of-two set count accepted")
+	}
+	if _, err := New(4, nil, 2, true); err == nil {
+		t.Error("empty set-count grid accepted")
+	}
+	if _, err := New(4, []int{16}, 0, true); err == nil {
+		t.Error("zero associativity cap accepted")
+	}
+	if _, err := New(4, []int{16}, cache.MaxAssoc+1, true); err == nil {
+		t.Error("associativity cap beyond cache.MaxAssoc accepted")
+	}
+	p, err := New(4, []int{16}, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Stats(32, 1); err == nil {
+		t.Error("unprofiled set count accepted")
+	}
+	if _, err := p.Stats(16, 3); err == nil {
+		t.Error("associativity beyond the cap accepted")
+	}
+}
+
+// TestInclusionMonotone spot-checks the inclusion property on derived
+// stats: for a fixed set count, hits never decrease with associativity.
+func TestInclusionMonotone(t *testing.T) {
+	p, err := New(4, []int{2, 8, 32}, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 8000; i++ {
+		p.Access(int32(rng.Intn(4096)), rng.Intn(3) == 0)
+	}
+	for _, sets := range []int{2, 8, 32} {
+		prev := int64(-1)
+		for assoc := 1; assoc <= 8; assoc++ {
+			s, err := p.Stats(sets, assoc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Hits < prev {
+				t.Errorf("sets=%d: hits dropped growing assoc to %d: %d -> %d",
+					sets, assoc, prev, s.Hits)
+			}
+			prev = s.Hits
+		}
+	}
+}

@@ -8,8 +8,12 @@ import (
 	"lppart/internal/apps"
 	"lppart/internal/behav"
 	"lppart/internal/cache"
+	"lppart/internal/cdfg"
+	"lppart/internal/codegen"
+	"lppart/internal/iss"
 	"lppart/internal/partition"
 	"lppart/internal/tech"
+	"lppart/internal/trace"
 )
 
 // evalApp caches the six full evaluations across tests (each takes real
@@ -298,11 +302,47 @@ func TestCacheGeometryAblation(t *testing.T) {
 		}
 		return ev
 	}
-	small := run(cache.Config{Sets: 32, Assoc: 2, LineWords: 4, WriteBack: true})
-	big := run(cache.Config{Sets: 512, Assoc: 2, LineWords: 4, WriteBack: true})
+	smallCfg := cache.Config{Sets: 32, Assoc: 2, LineWords: 4, WriteBack: true}
+	bigCfg := cache.Config{Sets: 512, Assoc: 2, LineWords: 4, WriteBack: true}
+	small := run(smallCfg)
+	big := run(bigCfg)
 	if big.Initial.EMem >= small.Initial.EMem {
 		t.Errorf("16 KiB d-cache memory energy %v must be below 1 KiB's %v",
 			big.Initial.EMem, small.Initial.EMem)
+	}
+
+	// The single-pass profiler reproduces the same knee from ONE extra
+	// ISS run: record digs' reference stream once, then derive both A6
+	// geometries (and everything between) from one stack pass. The
+	// initial design runs the identical reference stream through live
+	// cores, so the derived memory energies must match it exactly.
+	src, err := a.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, _, err := codegen.Compile(cdfg.MustBuild(src), codegen.Options{
+		MemWords: 1 << 20, StackWords: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &trace.Recorder{}
+	if _, err := iss.Run(mp, iss.Options{Mem: rec}); err != nil {
+		t.Fatal(err)
+	}
+	reps, err := rec.Trace.Sweep([][2]cache.Config{
+		{cache.DefaultICache(), smallCfg},
+		{cache.DefaultICache(), bigCfg},
+	}, tech.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps[0].EMem != small.Initial.EMem || reps[1].EMem != big.Initial.EMem {
+		t.Errorf("stack-profiled memory energies (%v, %v) != initial designs' (%v, %v)",
+			reps[0].EMem, reps[1].EMem, small.Initial.EMem, big.Initial.EMem)
+	}
+	if reps[1].EMem >= reps[0].EMem {
+		t.Errorf("profiled sweep must show the A6 knee: big %v < small %v",
+			reps[1].EMem, reps[0].EMem)
 	}
 }
 

@@ -1,12 +1,18 @@
 // Package trace implements the trace tool and cache profiler of the
 // paper's design flow (Fig. 5: "Trace Tool" feeding a "Cache Profiler",
 // after [17] WARTS): it records the exact instruction-fetch and data
-// reference stream of an ISS run once, then replays it against any number
-// of cache geometries without re-simulating the program — the standard
-// trace-driven methodology for tuning the cache cores to a chosen
-// partition ("those other cores have to be adapted efficiently (e.g. size
-// of memory, size of caches, cache policy etc.) according to the
-// particular hw/sw partitioning chosen", paper §1).
+// reference stream of an ISS run once, then evaluates any number of
+// cache geometries against it without re-simulating the program — the
+// standard trace-driven methodology for tuning the cache cores to a
+// chosen partition ("those other cores have to be adapted efficiently
+// (e.g. size of memory, size of caches, cache policy etc.) according to
+// the particular hw/sw partitioning chosen", paper §1).
+//
+// The stream is stored delta+varint-encoded in chunks (Compact), and
+// geometry sweeps run the single-pass stack-distance profiler of
+// internal/stackdist: one pass over the trace per distinct line size
+// covers every (Sets, Assoc) combination, with Replay retained as the
+// one-geometry-per-pass differential-testing oracle.
 package trace
 
 import (
@@ -17,6 +23,7 @@ import (
 	"lppart/internal/explore"
 	"lppart/internal/iss"
 	"lppart/internal/mem"
+	"lppart/internal/stackdist"
 	"lppart/internal/tech"
 	"lppart/internal/units"
 )
@@ -43,15 +50,15 @@ func (k Kind) String() string {
 	}
 }
 
-// Access is one recorded memory reference.
+// Access is one decoded memory reference.
 type Access struct {
 	Kind Kind
 	Addr int32 // word address
 }
 
-// Trace is a recorded reference stream.
+// Trace is a recorded reference stream in compact storage.
 type Trace struct {
-	Accesses []Access
+	Compact
 }
 
 // Recorder implements iss.MemSystem: it appends every reference to the
@@ -64,7 +71,7 @@ type Recorder struct {
 
 // FetchInstr records an instruction fetch.
 func (r *Recorder) FetchInstr(byteAddr uint32) int {
-	r.Trace.Accesses = append(r.Trace.Accesses, Access{Kind: Fetch, Addr: int32(byteAddr / 4)})
+	r.Trace.Append(Fetch, int32(byteAddr/4))
 	if r.Inner != nil {
 		return r.Inner.FetchInstr(byteAddr)
 	}
@@ -73,7 +80,7 @@ func (r *Recorder) FetchInstr(byteAddr uint32) int {
 
 // ReadData records a data load.
 func (r *Recorder) ReadData(addr int32) int {
-	r.Trace.Accesses = append(r.Trace.Accesses, Access{Kind: Read, Addr: addr})
+	r.Trace.Append(Read, addr)
 	if r.Inner != nil {
 		return r.Inner.ReadData(addr)
 	}
@@ -82,24 +89,24 @@ func (r *Recorder) ReadData(addr int32) int {
 
 // WriteData records a data store.
 func (r *Recorder) WriteData(addr int32) int {
-	r.Trace.Accesses = append(r.Trace.Accesses, Access{Kind: Write, Addr: addr})
+	r.Trace.Append(Write, addr)
 	if r.Inner != nil {
 		return r.Inner.WriteData(addr)
 	}
 	return 0
 }
 
-// Report is the outcome of replaying a trace against one cache pair.
+// Report is the outcome of evaluating the trace against one cache pair.
 type Report struct {
 	ICfg, DCfg cache.Config
 	I, D       cache.Stats
-	// Energy breakdown of the replay: cache arrays, memory, bus.
+	// Energy breakdown: cache arrays, memory, bus.
 	EICache, EDCache, EMem, EBus units.Energy
 	// Stalls is the total extra cycles the geometry would have cost.
 	Stalls int64
 }
 
-// Total returns the memory-subsystem energy of the replay.
+// Total returns the memory-subsystem energy of the evaluation.
 func (r Report) Total() units.Energy { return r.EICache + r.EDCache + r.EMem + r.EBus }
 
 // String renders a one-line summary.
@@ -110,7 +117,9 @@ func (r Report) String() string {
 }
 
 // Replay runs the trace against one instruction/data cache pair backed by
-// fresh memory and bus cores.
+// fresh memory and bus cores — one full trace pass per geometry pair.
+// The geometry sweeps use the single-pass profiler instead; Replay is the
+// oracle they are differentially tested against.
 func (t *Trace) Replay(icfg, dcfg cache.Config, lib *tech.Library) (Report, error) {
 	m := mem.New(lib)
 	b := bus.New(lib)
@@ -124,16 +133,16 @@ func (t *Trace) Replay(icfg, dcfg cache.Config, lib *tech.Library) (Report, erro
 		return Report{}, err
 	}
 	var stalls int64
-	for _, a := range t.Accesses {
-		switch a.Kind {
+	t.Scan(func(k Kind, addr int32) {
+		switch k {
 		case Fetch:
-			stalls += int64(ic.Access(a.Addr, false))
+			stalls += int64(ic.Access(addr, false))
 		case Read:
-			stalls += int64(dc.Access(a.Addr, false))
+			stalls += int64(dc.Access(addr, false))
 		case Write:
-			stalls += int64(dc.Access(a.Addr, true))
+			stalls += int64(dc.Access(addr, true))
 		}
-	}
+	})
 	stalls += int64(dc.Flush())
 	return Report{
 		ICfg: icfg, DCfg: dcfg,
@@ -144,34 +153,154 @@ func (t *Trace) Replay(icfg, dcfg cache.Config, lib *tech.Library) (Report, erro
 	}, nil
 }
 
-// Sweep replays the trace against every geometry pair serially and
+// sweepGroup is the unit of single-pass profiling: every geometry pair
+// sharing one (i-line, d-line) size combination profiles from one pass.
+type sweepGroup struct {
+	iLW, dLW int
+	idx      []int // positions in the caller's pairs slice
+}
+
+// groupPairs buckets pairs by line size in first-seen order.
+func groupPairs(pairs [][2]cache.Config) []sweepGroup {
+	var groups []sweepGroup
+	byLW := map[[2]int]int{}
+	for i, pr := range pairs {
+		key := [2]int{pr[0].LineWords, pr[1].LineWords}
+		gi, ok := byLW[key]
+		if !ok {
+			gi = len(groups)
+			byLW[key] = gi
+			groups = append(groups, sweepGroup{iLW: key[0], dLW: key[1]})
+		}
+		groups[gi].idx = append(groups[gi].idx, i)
+	}
+	return groups
+}
+
+// Passes returns the number of trace passes a sweep of pairs performs:
+// one single-pass profiler run per distinct (i-line, d-line) size
+// combination, versus one pass per pair for a naive replay sweep.
+func Passes(pairs [][2]cache.Config) int { return len(groupPairs(pairs)) }
+
+// Sweep evaluates the trace against every geometry pair serially and
 // returns the reports in input order.
 func (t *Trace) Sweep(pairs [][2]cache.Config, lib *tech.Library) ([]Report, error) {
 	return t.SweepParallel(pairs, lib, 1)
 }
 
-// SweepParallel replays the trace against every geometry pair on a
-// bounded worker pool (workers <= 0 selects one worker per CPU). Each
-// replay builds fresh cache/memory/bus cores and only reads the recorded
-// stream, so replays are independent; reports come back in input order
-// and are identical at any worker count.
+// SweepParallel evaluates the trace against every geometry pair using the
+// single-pass stack-distance profiler: pairs are grouped by line size,
+// each group costs ONE pass over the recorded stream (simultaneously
+// profiling every set count and associativity in the group, i- and
+// d-stream alike), and the groups fan out on a bounded worker pool
+// (workers <= 0 selects one worker per CPU). Reports come back in input
+// order, byte-identical to Replay's at any worker count.
 func (t *Trace) SweepParallel(pairs [][2]cache.Config, lib *tech.Library, workers int) ([]Report, error) {
+	groups := groupPairs(pairs)
+	grouped, err := explore.Map(workers, groups, func(_ int, g sweepGroup) ([]Report, error) {
+		return t.profileGroup(g, pairs, lib)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Report, len(pairs))
+	for gi, g := range groups {
+		for j, pi := range g.idx {
+			out[pi] = grouped[gi][j]
+		}
+	}
+	return out, nil
+}
+
+// SweepReplay evaluates every pair by an independent full replay — the
+// naive G-pass path the single-pass profiler replaced, retained as the
+// differential-testing oracle and benchmark baseline.
+func (t *Trace) SweepReplay(pairs [][2]cache.Config, lib *tech.Library, workers int) ([]Report, error) {
 	return explore.Map(workers, pairs, func(_ int, pr [2]cache.Config) (Report, error) {
 		return t.Replay(pr[0], pr[1], lib)
 	})
 }
 
-// Counts returns the number of fetches, reads and writes in the trace.
-func (t *Trace) Counts() (fetches, reads, writes int64) {
-	for _, a := range t.Accesses {
-		switch a.Kind {
+// profileGroup runs one single-pass profile over the trace for every
+// geometry pair in g and synthesizes their reports.
+func (t *Trace) profileGroup(g sweepGroup, pairs [][2]cache.Config, lib *tech.Library) ([]Report, error) {
+	var iSets, dSets []int
+	iAssoc, dAssoc := 0, 0
+	for _, pi := range g.idx {
+		icfg, dcfg := pairs[pi][0], pairs[pi][1]
+		dcfg.WriteBack = true
+		if err := icfg.Validate(); err != nil {
+			return nil, err
+		}
+		if err := dcfg.Validate(); err != nil {
+			return nil, err
+		}
+		iSets = appendUnique(iSets, icfg.Sets)
+		dSets = appendUnique(dSets, dcfg.Sets)
+		iAssoc = max(iAssoc, icfg.Assoc)
+		dAssoc = max(dAssoc, dcfg.Assoc)
+	}
+	ip, err := stackdist.New(g.iLW, iSets, iAssoc, false)
+	if err != nil {
+		return nil, err
+	}
+	dp, err := stackdist.New(g.dLW, dSets, dAssoc, true)
+	if err != nil {
+		return nil, err
+	}
+	t.Scan(func(k Kind, addr int32) {
+		switch k {
 		case Fetch:
-			fetches++
+			ip.Access(addr, false)
 		case Read:
-			reads++
-		default:
-			writes++
+			dp.Access(addr, false)
+		case Write:
+			dp.Access(addr, true)
+		}
+	})
+	reps := make([]Report, len(g.idx))
+	for j, pi := range g.idx {
+		icfg, dcfg := pairs[pi][0], pairs[pi][1]
+		is, err := ip.Stats(icfg.Sets, icfg.Assoc)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := dp.Stats(dcfg.Sets, dcfg.Assoc)
+		if err != nil {
+			return nil, err
+		}
+		reps[j] = synthesize(icfg, dcfg, lib, is, ds)
+	}
+	return reps, nil
+}
+
+// synthesize prices one geometry pair's profiled Stats exactly as
+// Replay's live cores would have: the same integer traffic counts feed
+// the same float expressions, so the report is byte-identical to a
+// replay's.
+func synthesize(icfg, dcfg cache.Config, lib *tech.Library, is, ds cache.Stats) Report {
+	dcfg.WriteBack = true
+	readWords := icfg.RefillWords(is.Misses) + dcfg.RefillWords(ds.Misses)
+	writeWords := dcfg.WriteBackWords(ds.WriteBacks)
+	m := mem.Memory{T: lib.Memory, Reads: readWords, Writes: writeWords}
+	b := bus.Bus{T: lib.Bus, ReadWords: readWords, WriteWords: writeWords}
+	return Report{
+		ICfg: icfg, DCfg: dcfg,
+		I: is, D: ds,
+		EICache: units.Energy(float64(is.Accesses)) * icfg.AccessEnergy(lib.Cache),
+		EDCache: units.Energy(float64(ds.Accesses)) * dcfg.AccessEnergy(lib.Cache),
+		EMem:    m.Energy(),
+		EBus:    b.Energy(),
+		Stalls: icfg.MissStalls(lib.Memory, is.Misses, 0) +
+			dcfg.MissStalls(lib.Memory, ds.Misses, ds.WriteBacks),
+	}
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
 		}
 	}
-	return
+	return append(s, v)
 }

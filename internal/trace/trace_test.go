@@ -1,8 +1,10 @@
 package trace
 
 import (
+	"math/rand"
 	"testing"
 
+	"lppart/internal/apps"
 	"lppart/internal/behav"
 	"lppart/internal/cache"
 	"lppart/internal/cdfg"
@@ -50,8 +52,66 @@ func TestRecorderCapturesReferences(t *testing.T) {
 	if reads < 512 {
 		t.Errorf("reads = %d, want >= 512", reads)
 	}
-	if int64(len(tr.Accesses)) != fetches+reads+writes {
+	if tr.Len() != fetches+reads+writes {
 		t.Error("counts do not partition the trace")
+	}
+}
+
+func TestCompactRoundTrip(t *testing.T) {
+	// The compact encoding must reproduce an arbitrary access sequence
+	// exactly, across chunk boundaries, through both Scan and Iter.
+	rng := rand.New(rand.NewSource(3))
+	var c Compact
+	var want []Access
+	addr := int32(0)
+	for i := 0; i < 200000; i++ {
+		k := Kind(rng.Intn(3))
+		switch rng.Intn(4) {
+		case 0:
+			addr = int32(rng.Uint32()) // arbitrary jump, negatives included
+		default:
+			addr += int32(rng.Intn(64)) - 16
+		}
+		want = append(want, Access{Kind: k, Addr: addr})
+		c.Append(k, addr)
+	}
+	if c.Len() != int64(len(want)) {
+		t.Fatalf("Len = %d, want %d", c.Len(), len(want))
+	}
+	i := 0
+	c.Scan(func(k Kind, a int32) {
+		if want[i].Kind != k || want[i].Addr != a {
+			t.Fatalf("Scan access %d: got (%v, %d), want %+v", i, k, a, want[i])
+		}
+		i++
+	})
+	if i != len(want) {
+		t.Fatalf("Scan yielded %d accesses, want %d", i, len(want))
+	}
+	it := c.Iter()
+	for j := range want {
+		a, ok := it.Next()
+		if !ok {
+			t.Fatalf("Iter ended at %d of %d", j, len(want))
+		}
+		if a != want[j] {
+			t.Fatalf("Iter access %d: got %+v, want %+v", j, a, want[j])
+		}
+	}
+	if _, ok := it.Next(); ok {
+		t.Error("Iter yielded beyond the stream")
+	}
+}
+
+func TestCompactIsCompact(t *testing.T) {
+	// A real application trace must encode well below the 8 bytes per
+	// access of the old []Access representation.
+	tr := record(t, walker)
+	bytesPer := float64(tr.Bytes()) / float64(tr.Len())
+	t.Logf("compact: %d accesses in %d bytes (%.2f bytes/access, %.1fx vs []Access)",
+		tr.Len(), tr.Bytes(), bytesPer, 8/bytesPer)
+	if bytesPer > 4 {
+		t.Errorf("compact encoding too large: %.2f bytes/access, want <= 4", bytesPer)
 	}
 }
 
@@ -95,7 +155,7 @@ func (m *liveMem) WriteData(a int32) int   { return m.dc.Access(a, true) }
 
 func TestSweepMonotoneCapacity(t *testing.T) {
 	// Growing the data cache can only improve (or hold) its hit rate on
-	// a replayed trace.
+	// a recorded trace.
 	tr := record(t, walker)
 	lib := tech.Default()
 	pairs := [][2]cache.Config{
@@ -150,6 +210,117 @@ func TestSweepParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// profGrid is the ≥24-point geometry grid of the differential tests: six
+// d-cache set counts × four ways, one shared line size.
+func profGrid() [][2]cache.Config {
+	var pairs [][2]cache.Config
+	for _, sets := range []int{16, 32, 64, 128, 256, 512} {
+		for _, assoc := range []int{1, 2, 4, 8} {
+			pairs = append(pairs, [2]cache.Config{
+				cache.DefaultICache(),
+				{Sets: sets, Assoc: assoc, LineWords: 4, WriteBack: true},
+			})
+		}
+	}
+	return pairs
+}
+
+// TestSweepStackMatchesReplayAllApps is the tentpole differential: for
+// all six benchmark applications, the single-pass stack-distance sweep
+// must produce reports byte-identical to the naive replay oracle over a
+// 24-point geometry grid, at one and at eight workers.
+func TestSweepStackMatchesReplayAllApps(t *testing.T) {
+	lib := tech.Default()
+	pairs := profGrid()
+	for _, a := range apps.All() {
+		src, err := a.Parse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ir := cdfg.MustBuild(src)
+		mp, _, err := codegen.Compile(ir, codegen.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := &Recorder{}
+		if _, err := iss.Run(mp, iss.Options{Mem: rec}); err != nil {
+			t.Fatal(err)
+		}
+		tr := &rec.Trace
+		oracle, err := tr.SweepReplay(pairs, lib, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 8} {
+			got, err := tr.SweepParallel(pairs, lib, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range oracle {
+				if got[i] != oracle[i] {
+					t.Errorf("%s workers=%d pair %d (%v/%v):\n  stack  %+v\n  replay %+v",
+						a.Name, workers, i, pairs[i][0], pairs[i][1], got[i], oracle[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSweepSinglePass measures (via the trace's scan counter) that a
+// sweep over a grid sharing one line size costs exactly ONE pass over
+// the recorded stream, and that the grid is wide enough to beat naive
+// replay by the required ≥3x trace-access-visit margin.
+func TestSweepSinglePass(t *testing.T) {
+	tr := record(t, walker)
+	lib := tech.Default()
+	pairs := profGrid()
+	if want := 1; Passes(pairs) != want {
+		t.Fatalf("Passes = %d, want %d", Passes(pairs), want)
+	}
+	if len(pairs) < 3*Passes(pairs) {
+		t.Fatalf("grid too small for the 3x margin: %d pairs, %d passes", len(pairs), Passes(pairs))
+	}
+	before := tr.Scans()
+	reps, err := tr.SweepParallel(pairs, lib, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Scans() - before; got != int64(Passes(pairs)) {
+		t.Errorf("sweep scanned the trace %d times, want %d", got, Passes(pairs))
+	}
+	if len(reps) != len(pairs) {
+		t.Fatalf("%d reports for %d pairs", len(reps), len(pairs))
+	}
+
+	// Mixed line sizes: one pass per distinct (i, d) line-size combo.
+	mixed := [][2]cache.Config{
+		{cache.DefaultICache(), {Sets: 64, Assoc: 2, LineWords: 4, WriteBack: true}},
+		{cache.DefaultICache(), {Sets: 64, Assoc: 2, LineWords: 8, WriteBack: true}},
+		{cache.DefaultICache(), {Sets: 128, Assoc: 1, LineWords: 8, WriteBack: true}},
+		{{Sets: 64, Assoc: 1, LineWords: 8}, {Sets: 64, Assoc: 2, LineWords: 4, WriteBack: true}},
+	}
+	if want := 3; Passes(mixed) != want {
+		t.Fatalf("mixed-grid Passes = %d, want %d", Passes(mixed), want)
+	}
+	before = tr.Scans()
+	got, err := tr.SweepParallel(mixed, lib, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tr.Scans() - before; n != int64(Passes(mixed)) {
+		t.Errorf("mixed sweep scanned %d times, want %d", n, Passes(mixed))
+	}
+	oracle, err := tr.SweepReplay(mixed, lib, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range oracle {
+		if got[i] != oracle[i] {
+			t.Errorf("mixed pair %d: stack %+v != replay %+v", i, got[i], oracle[i])
+		}
+	}
+}
+
 func TestReplayDeterministic(t *testing.T) {
 	tr := record(t, walker)
 	lib := tech.Default()
@@ -178,5 +349,16 @@ func TestReplayRejectsBadGeometry(t *testing.T) {
 	if _, err := tr.Replay(cache.Config{Sets: 3, Assoc: 1, LineWords: 4},
 		cache.DefaultDCache(), lib); err == nil {
 		t.Error("bad geometry must be rejected")
+	}
+	// The stack sweep must reject the same geometries Replay does.
+	if _, err := tr.Sweep([][2]cache.Config{
+		{{Sets: 3, Assoc: 1, LineWords: 4}, cache.DefaultDCache()},
+	}, lib); err == nil {
+		t.Error("sweep must reject bad geometry")
+	}
+	if _, err := tr.Sweep([][2]cache.Config{
+		{cache.DefaultICache(), {Sets: 64, Assoc: cache.MaxAssoc + 1, LineWords: 4}},
+	}, lib); err == nil {
+		t.Error("sweep must reject out-of-bounds associativity")
 	}
 }
