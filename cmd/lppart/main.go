@@ -34,6 +34,7 @@ func main() {
 		cores       = flag.Int("cores", 1, "maximum number of ASIC cores (multi-core extension)")
 		listing     = flag.Bool("listing", false, "dump the compiled µP program")
 		verilog     = flag.Bool("verilog", false, "emit the chosen ASIC core(s) as structural Verilog")
+		verify      = flag.Bool("verify", false, "run the pipeline-stage IR verifiers and the decision audit alongside partitioning")
 	)
 	flag.Parse()
 
@@ -67,6 +68,7 @@ func main() {
 	cfg.Part.MaxClusters = *maxClusters
 	cfg.Part.GEQBudget = *geqBudget
 	cfg.Part.MaxCores = *cores
+	cfg.Part.Verify = *verify
 	ev, err := system.Evaluate(src, cfg)
 	if err != nil {
 		fatal(err)

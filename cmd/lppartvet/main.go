@@ -1,0 +1,107 @@
+// Command lppartvet is the repo's invariant checker: a multichecker
+// hosting the custom static-analysis passes that keep the determinism
+// and dimensional-soundness contracts machine-checked (see
+// internal/analysis and its subpackages).
+//
+// Usage:
+//
+//	lppartvet ./...              # whole repo (CI runs this on every push)
+//	lppartvet ./internal/...     # one subtree
+//	lppartvet -list              # describe the passes
+//
+// Exit status: 0 clean, 1 findings, 2 load/usage errors. Everything runs
+// offline on the standard library's type checker — no module proxy, no
+// external tools.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lppart/internal/analysis"
+	"lppart/internal/analysis/detrange"
+	"lppart/internal/analysis/nondetsource"
+	"lppart/internal/analysis/unitsafe"
+)
+
+// analyzers is the pass suite, in report order.
+var analyzers = []*analysis.Analyzer{
+	detrange.Analyzer,
+	nondetsource.Analyzer,
+	unitsafe.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "describe the passes and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: lppartvet [-list] [package patterns]\n\npasses:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+
+	var dirs []string
+	seen := make(map[string]bool)
+	for _, p := range patterns {
+		expanded, err := analysis.Expand(cwd, p)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range expanded {
+			if !seen[d] {
+				seen[d] = true
+				dirs = append(dirs, d)
+			}
+		}
+	}
+
+	findings := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fatal(err)
+		}
+		for _, a := range analyzers {
+			diags, err := analysis.Run(a, pkg)
+			if err != nil {
+				fatal(err)
+			}
+			for _, d := range diags {
+				fmt.Println(d)
+				findings++
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "lppartvet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lppartvet:", err)
+	os.Exit(2)
+}

@@ -13,13 +13,16 @@ import (
 // runAblation executes one of the DESIGN.md ablation studies (A1–A6).
 // Each configuration point evaluates its applications concurrently on
 // `jobs` workers; rows print in application order regardless of jobs.
-func runAblation(kind string, list []apps.App, jobs int) error {
+// verify turns on partition.Config.Verify for every point.
+func runAblation(kind string, list []apps.App, jobs int, verify bool) error {
 	// sweep evaluates every application under the configuration mkCfg
 	// builds (fresh per call: some points mutate their library) and
 	// prints one row per application, in order.
 	sweep := func(mkCfg func() system.Config) error {
 		evals, err := explore.Map(jobs, list, func(_ int, a apps.App) (*system.Evaluation, error) {
-			ev, err := evaluate(a, mkCfg())
+			cfg := mkCfg()
+			cfg.Part.Verify = verify
+			ev, err := evaluate(a, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", a.Name, err)
 			}
@@ -146,7 +149,9 @@ func runAblation(kind string, list []apps.App, jobs int) error {
 		// control-dominated system, where the approach should find
 		// little to move.
 		fmt.Println("E2: control-dominated application (paper §5 future work)")
-		ev, err := evaluate(apps.ControlDominated(), system.Config{})
+		cfg := system.Config{}
+		cfg.Part.Verify = verify
+		ev, err := evaluate(apps.ControlDominated(), cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", apps.ControlDominated().Name, err)
 		}

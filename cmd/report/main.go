@@ -35,6 +35,7 @@ func main() {
 		appName  = flag.String("app", "", "restrict to one application")
 		ablation = flag.String("ablation", "", "run an ablation: F, preselect, rs, weighted, gated, cache")
 		jobs     = flag.Int("j", 0, "concurrent application evaluations (0 = one per CPU, 1 = serial)")
+		verify   = flag.Bool("verify", false, "run the pipeline-stage IR verifiers and the decision audit alongside every evaluation")
 	)
 	flag.Parse()
 	if !*table1 && !*fig6 && !*hw && !*summary && !*trail && *ablation == "" {
@@ -54,7 +55,7 @@ func main() {
 	}
 
 	if *ablation != "" {
-		if err := runAblation(*ablation, list, *jobs); err != nil {
+		if err := runAblation(*ablation, list, *jobs, *verify); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -64,7 +65,9 @@ func main() {
 	// Fan the applications out on the exploration pool; evaluations come
 	// back in input order, so rows and trails print identically at any -j.
 	evals, err := explore.Map(*jobs, list, func(_ int, a apps.App) (*system.Evaluation, error) {
-		ev, err := evaluate(a, system.Config{})
+		cfg := system.Config{}
+		cfg.Part.Verify = *verify
+		ev, err := evaluate(a, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}

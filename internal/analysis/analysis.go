@@ -1,0 +1,144 @@
+// Package analysis is the host for lppartvet's invariant-checker passes:
+// a deliberately small reimplementation of the golang.org/x/tools
+// go/analysis surface (Analyzer, Pass, diagnostics) on the standard
+// library alone, so the checker suite builds in hermetic environments
+// with no module proxy.
+//
+// The repo's headline guarantee — byte-identical Table 1 rows, Figure 6
+// charts and decision trails at any worker count — is a *code* property:
+// one unsorted `for k := range m` over a map in a result-producing path
+// silently breaks it. The passes hosted here (detrange, nondetsource,
+// unitsafe) turn that contract into something machine-checked on every
+// push; this package supplies the loading, reporting and suppression
+// plumbing they share.
+//
+// Suppression: a pass diagnostic can be acknowledged in source with a
+// `//lint:<marker>` comment on the flagged line or the line above it
+// (e.g. //lint:ordered for an order-insensitive map loop). Markers are
+// per-pass, so acknowledging one invariant never mutes another.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant-checker pass.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics (e.g. "detrange").
+	Name string
+	// Doc is the one-paragraph description `lppartvet -help` prints.
+	Doc string
+	// Run inspects one type-checked package and reports findings via
+	// pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Suppressed reports whether the line holding pos (or the line directly
+// above it) carries a `//lint:<marker>` acknowledgement comment.
+func (p *Pass) Suppressed(pos token.Pos, marker string) bool {
+	want := "lint:" + marker
+	line := p.Fset.Position(pos).Line
+	file := p.fileOf(pos)
+	if file == nil {
+		return false
+	}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.Contains(c.Text, want) {
+				continue
+			}
+			cl := p.Fset.Position(c.Pos()).Line
+			if cl == line || cl == line-1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fileOf returns the syntax file containing pos.
+func (p *Pass) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The loader
+// does not parse test files by default, but fixture harnesses may.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Run applies one analyzer to a loaded package and returns its findings
+// in position order.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	sortDiagnostics(pass.diags)
+	return pass.diags, nil
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

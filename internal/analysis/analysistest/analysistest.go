@@ -1,0 +1,124 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata/src tree and checks its findings against `// want "regexp"`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest on the
+// in-repo framework.
+//
+// A fixture file marks each line that must produce a diagnostic:
+//
+//	for k := range m { // want `nondeterministic iteration`
+//
+// The test fails if a wanted diagnostic is missing, or if the analyzer
+// reports anything no want comment claims — so every fixture proves both
+// detection and precision.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"lppart/internal/analysis"
+)
+
+// wantRe extracts the quoted pattern of a want comment; both `...` and
+// "..." quoting are accepted.
+var wantRe = regexp.MustCompile("//\\s*want\\s+(`([^`]*)`|\"([^\"]*)\")")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<pkg> relative to the test's working directory,
+// applies the analyzer and verifies its diagnostics against the want
+// comments. It returns the diagnostics for any extra assertions.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) []analysis.Diagnostic {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	p, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(a, p)
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := collectWants(t, p)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+				w.file, w.line, w.pattern)
+		}
+	}
+	return diags
+}
+
+// collectWants scans the fixture's comments for want annotations.
+func collectWants(t *testing.T, p *analysis.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat := m[2]
+				if pat == "" {
+					pat = m[3]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", pat, err)
+				}
+				pos := p.Fset.Position(c.Pos())
+				wants = append(wants, &expectation{
+					file: pos.Filename, line: pos.Line, pattern: re,
+				})
+			}
+		}
+	}
+	return wants
+}
+
+// claim marks the first unmatched expectation satisfied by d.
+func claim(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line &&
+			w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// MustBeClean asserts the analyzer reports nothing on the fixture; used
+// for the accept-a-clean-file half of each pass's contract.
+func MustBeClean(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	diags := Run(t, a, pkg)
+	if len(diags) != 0 {
+		var sb strings.Builder
+		for _, d := range diags {
+			fmt.Fprintf(&sb, "\n  %s", d)
+		}
+		t.Errorf("%s: expected clean fixture %s, got %d findings:%s",
+			a.Name, pkg, len(diags), sb.String())
+	}
+}

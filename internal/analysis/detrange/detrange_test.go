@@ -1,0 +1,29 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"lppart/internal/analysis/analysistest"
+	"lppart/internal/analysis/detrange"
+)
+
+// TestDetectsMapRanges proves the pass catches each seeded violation
+// (string building, float accumulation, first-wins selection).
+func TestDetectsMapRanges(t *testing.T) {
+	diags := analysistest.Run(t, detrange.Analyzer, "bad")
+	if len(diags) != 3 {
+		t.Errorf("want 3 findings in fixture bad, got %d", len(diags))
+	}
+}
+
+// TestAcceptsCleanFile proves sorted-key iteration, slice/array ranges
+// and //lint:ordered acknowledgements all pass.
+func TestAcceptsCleanFile(t *testing.T) {
+	analysistest.MustBeClean(t, detrange.Analyzer, "good")
+}
+
+// TestIgnoresUngatedPackages proves the package gate: map ranges outside
+// the result-producing set are not this pass's business.
+func TestIgnoresUngatedPackages(t *testing.T) {
+	analysistest.MustBeClean(t, detrange.Analyzer, "ungated")
+}

@@ -1,0 +1,30 @@
+// Package partition is a detrange fixture: its name gates it into the
+// result-producing package set, and every map range below is
+// order-sensitive (string building, float accumulation, first-wins).
+package partition
+
+// Trail builds user-visible text from a map: classic determinism break.
+func Trail(active map[string]float64) string {
+	out := ""
+	for k := range active { // want `nondeterministic iteration over map`
+		out += k + "\n"
+	}
+	return out
+}
+
+// Sum accumulates floats in map order: result bits depend on key order.
+func Sum(energy map[int]float64) float64 {
+	total := 0.0
+	for _, e := range energy { // want `nondeterministic iteration over map`
+		total += e
+	}
+	return total
+}
+
+// First picks an arbitrary winner.
+func First(cands map[int]string) string {
+	for _, v := range cands { // want `nondeterministic iteration over map`
+		return v
+	}
+	return ""
+}

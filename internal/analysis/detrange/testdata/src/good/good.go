@@ -1,0 +1,43 @@
+// Package sched is a detrange fixture: gated by name, but every loop
+// below is legitimate — sorted-key iteration, slice/array ranges, and an
+// acknowledged order-insensitive set-build loop.
+package sched
+
+import "sort"
+
+// Trail iterates sorted keys: deterministic.
+func Trail(active map[string]float64) string {
+	keys := make([]string, 0, len(active))
+	for k := range active { //lint:ordered set-to-slice collection, sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += k + "\n"
+	}
+	return out
+}
+
+// Union inserts into another map: order-insensitive, acknowledged.
+func Union(a, b map[int]bool) map[int]bool {
+	u := make(map[int]bool, len(a)+len(b))
+	//lint:ordered pure set insertion
+	for k := range a {
+		u[k] = true
+	}
+	//lint:ordered pure set insertion
+	for k := range b {
+		u[k] = true
+	}
+	return u
+}
+
+// Slices and arrays range deterministically; no findings here.
+func Dot(xs []float64, ws [4]float64) float64 {
+	total := 0.0
+	for i, x := range xs {
+		total += x * ws[i%4]
+	}
+	return total
+}

@@ -1,0 +1,13 @@
+// Package trace is a detrange fixture for the package gate: the name is
+// not in the result-producing set, so even an order-sensitive map range
+// is out of scope for this pass.
+package trace
+
+// Join is order-sensitive but ungated.
+func Join(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	// Path is the import path ("lppart/internal/sched") when the
+	// directory lies inside the module, else the directory itself
+	// (fixture packages under testdata/).
+	Path string
+	// Name is the package clause name.
+	Name string
+	// Dir is the absolute directory.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of this module without any
+// external tooling: module-internal imports resolve against the module
+// root on disk, everything else falls back to the standard library's
+// source importer (GOROOT/src), so the whole pipeline works offline.
+//
+// A Loader memoizes by import path; loading "./..." type-checks each
+// package (and each stdlib dependency) exactly once.
+type Loader struct {
+	Fset *token.FileSet
+	// ModRoot is the directory holding go.mod; ModPath its module path.
+	ModRoot, ModPath string
+	// IncludeTests also parses _test.go files (off for lppartvet runs;
+	// the analyzers exempt test files themselves anyway).
+	IncludeTests bool
+
+	fallback types.ImporterFrom
+	pkgs     map[string]*Package // by Package.Path
+	loading  map[string]bool     // cycle detection
+}
+
+// NewLoader builds a Loader for the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, path, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	fb, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer unavailable")
+	}
+	return &Loader{
+		Fset:     fset,
+		ModRoot:  root,
+		ModPath:  path,
+		fallback: fb,
+		pkgs:     make(map[string]*Package),
+		loading:  make(map[string]bool),
+	}, nil
+}
+
+// findModule walks upward from dir to the enclosing go.mod and returns
+// the module root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// pathOf derives the canonical Package.Path for a directory.
+func (l *Loader) pathOf(dir string) string {
+	if rel, err := filepath.Rel(l.ModRoot, dir); err == nil && rel != ".." &&
+		!strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		if rel == "." {
+			return l.ModPath
+		}
+		return l.ModPath + "/" + filepath.ToSlash(rel)
+	}
+	return dir
+}
+
+// LoadDir parses and type-checks the package in dir.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(l.pathOf(abs), abs)
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths load
+// from the module tree, everything else from GOROOT source.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if sub, ok := l.moduleSubdir(path); ok {
+		p, err := l.load(path, sub)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.fallback.ImportFrom(path, dir, mode)
+}
+
+// moduleSubdir maps a module-internal import path to its directory.
+func (l *Loader) moduleSubdir(path string) (string, bool) {
+	if path == l.ModPath {
+		return l.ModRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		return filepath.Join(l.ModRoot, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// load is the memoized core of LoadDir/ImportFrom.
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files, name, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	p := &Package{
+		Path: path, Name: name, Dir: dir,
+		Fset: l.Fset, Files: files, Types: tpkg, Info: info,
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// parseDir parses the package's Go files in deterministic (name) order.
+func (l *Loader) parseDir(dir string) ([]*ast.File, string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		if !l.IncludeTests && strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	pkgName := ""
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, "", err
+		}
+		name := f.Name.Name
+		if strings.HasSuffix(strings.TrimSuffix(n, ".go"), "_test") && strings.HasSuffix(name, "_test") {
+			continue // external test package files
+		}
+		if pkgName == "" {
+			pkgName = name
+		} else if name != pkgName {
+			return nil, "", fmt.Errorf("analysis: %s: mixed packages %s and %s", dir, pkgName, name)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, "", fmt.Errorf("analysis: %s: no Go files", dir)
+	}
+	return files, pkgName, nil
+}
+
+// Expand resolves a package pattern relative to base: a plain directory,
+// or a `dir/...` wildcard covering every package below dir (skipping
+// testdata, hidden and VCS directories, matching the go tool).
+func Expand(base, pattern string) ([]string, error) {
+	root := pattern
+	recursive := false
+	if root == "..." {
+		root, recursive = ".", true
+	} else if strings.HasSuffix(root, "/...") {
+		root, recursive = strings.TrimSuffix(root, "/..."), true
+	}
+	if !filepath.IsAbs(root) {
+		root = filepath.Join(base, root)
+	}
+	if !recursive {
+		return []string{root}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			n := d.Name()
+			if p != root && (strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") || n == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+			dir := filepath.Dir(p)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLoaderTypeChecksModulePackage proves the offline loader resolves
+// module-internal imports and produces full type information.
+func TestLoaderTypeChecksModulePackage(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if l.ModPath != "lppart" {
+		t.Fatalf("module path = %q, want lppart", l.ModPath)
+	}
+	p, err := l.LoadDir(filepath.Join(l.ModRoot, "internal", "dataflow"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if p.Path != "lppart/internal/dataflow" {
+		t.Errorf("path = %q", p.Path)
+	}
+	if p.Types == nil || p.Types.Scope().Lookup("GenUse") == nil {
+		t.Error("type info missing GenUse")
+	}
+	// Memoized: the transitively imported cdfg package is cached.
+	if _, ok := l.pkgs["lppart/internal/cdfg"]; !ok {
+		t.Error("transitive module import not memoized")
+	}
+}
+
+// TestExpandSkipsTestdata proves pattern expansion covers the package
+// tree but never descends into testdata fixtures.
+func TestExpandSkipsTestdata(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	dirs, err := Expand(l.ModRoot, "./internal/...")
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	foundSelf := false
+	for _, d := range dirs {
+		if filepath.Base(d) == "testdata" || filepath.Base(filepath.Dir(d)) == "testdata" {
+			t.Errorf("expansion descended into testdata: %s", d)
+		}
+		if d == filepath.Join(l.ModRoot, "internal", "analysis") {
+			foundSelf = true
+		}
+	}
+	if !foundSelf {
+		t.Error("expansion missed internal/analysis")
+	}
+}

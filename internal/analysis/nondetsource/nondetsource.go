@@ -1,0 +1,86 @@
+// Package nondetsource implements the lppartvet pass that bans ambient
+// nondeterminism from the library packages: wall-clock reads
+// (time.Now), pseudo-random numbers (math/rand, math/rand/v2) and
+// host-CPU-dependent sizing (runtime.GOMAXPROCS, runtime.NumCPU).
+//
+// Every result this repo produces — Table 1 rows, Figure 6, decision
+// trails, cache profiles — is specified to be a pure function of the
+// inputs, identical on any machine at any worker count. A clock read or
+// CPU-count probe buried in a library package breaks that contract in a
+// way no regression test reliably catches. Commands (package main) and
+// test files may use them freely; the one sanctioned library sink,
+// explore.DefaultWorkers, carries a //lint:nondet acknowledgement and a
+// determinism regression test proving worker count cannot change
+// results.
+package nondetsource
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"lppart/internal/analysis"
+)
+
+// bannedFuncs maps package path + function name to the report text.
+var bannedFuncs = map[[2]string]string{
+	{"time", "Now"}:           "wall-clock read",
+	{"runtime", "GOMAXPROCS"}: "host-CPU-dependent sizing",
+	{"runtime", "NumCPU"}:     "host-CPU-dependent sizing",
+}
+
+// bannedImports lists wholesale-banned packages.
+var bannedImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// Analyzer is the nondetsource pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nondetsource",
+	Doc: "ban time.Now, math/rand and GOMAXPROCS/NumCPU-dependent sizing outside " +
+		"cmd/ and test files; acknowledge a sanctioned sink with //lint:nondet",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil // commands may read clocks and probe CPUs
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if bannedImports[path] && !pass.Suppressed(imp.Pos(), "nondet") {
+				pass.Reportf(imp.Pos(),
+					"import of %s: pseudo-random numbers are nondeterministic inputs; "+
+						"results must be pure functions of the design inputs", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			why, banned := bannedFuncs[[2]string{fn.Pkg().Path(), fn.Name()}]
+			if !banned || pass.Suppressed(sel.Pos(), "nondet") {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s: %s outside cmd/ and tests; results must not depend on "+
+					"the host or the moment of execution (//lint:nondet to sanction)",
+				fn.Pkg().Path(), fn.Name(), why)
+			return true
+		})
+	}
+	return nil
+}

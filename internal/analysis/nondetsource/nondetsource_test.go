@@ -1,0 +1,28 @@
+package nondetsource_test
+
+import (
+	"testing"
+
+	"lppart/internal/analysis/analysistest"
+	"lppart/internal/analysis/nondetsource"
+)
+
+// TestDetectsAmbientNondeterminism proves the pass catches the clock
+// read, both CPU probes and the math/rand import.
+func TestDetectsAmbientNondeterminism(t *testing.T) {
+	diags := analysistest.Run(t, nondetsource.Analyzer, "bad")
+	if len(diags) != 4 {
+		t.Errorf("want 4 findings in fixture bad, got %d", len(diags))
+	}
+}
+
+// TestAcceptsAnnotatedSink proves //lint:nondet sanctions a sink and
+// that non-clock uses of the time package pass.
+func TestAcceptsAnnotatedSink(t *testing.T) {
+	analysistest.MustBeClean(t, nondetsource.Analyzer, "good")
+}
+
+// TestExemptsCommands proves package main is out of scope.
+func TestExemptsCommands(t *testing.T) {
+	analysistest.MustBeClean(t, nondetsource.Analyzer, "cmd")
+}

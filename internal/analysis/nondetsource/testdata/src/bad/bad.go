@@ -1,0 +1,29 @@
+// Package sched is a nondetsource fixture: a library package reaching
+// for every banned ambient-nondeterminism source.
+package sched
+
+import (
+	"math/rand" // want `pseudo-random numbers are nondeterministic inputs`
+	"runtime"
+	"time"
+)
+
+// Seed reads the wall clock.
+func Seed() int64 {
+	return time.Now().UnixNano() // want `wall-clock read`
+}
+
+// Workers sizes work by host CPU count.
+func Workers() int {
+	return runtime.NumCPU() // want `host-CPU-dependent sizing`
+}
+
+// Procs also sizes by the host.
+func Procs() int {
+	return runtime.GOMAXPROCS(0) // want `host-CPU-dependent sizing`
+}
+
+// Jitter consumes the banned import.
+func Jitter() float64 {
+	return rand.Float64()
+}

@@ -1,0 +1,13 @@
+// Package main is a nondetsource fixture: commands may read clocks and
+// probe the host freely — the gate exempts package main.
+package main
+
+import (
+	"runtime"
+	"time"
+)
+
+func main() {
+	_ = time.Now()
+	_ = runtime.NumCPU()
+}

@@ -1,0 +1,20 @@
+// Package explore is a nondetsource fixture: clean library code — a
+// sanctioned, annotated CPU probe (mirroring explore.DefaultWorkers,
+// whose worker count provably cannot change results) and benign use of
+// the time package without clock reads.
+package explore
+
+import (
+	"runtime"
+	"time"
+)
+
+// DefaultWorkers is the one sanctioned host probe.
+func DefaultWorkers() int {
+	return runtime.GOMAXPROCS(0) //lint:nondet worker count cannot change results (determinism tests)
+}
+
+// Timeout uses time's types, not its clock.
+func Timeout(n int) time.Duration {
+	return time.Duration(n) * time.Millisecond
+}

@@ -1,0 +1,20 @@
+// Package estimate is a unitsafe fixture: float64 arithmetic that
+// strips the units wrappers and mixes physical dimensions.
+package estimate
+
+import "lppart/internal/units"
+
+// Mix adds joules to seconds.
+func Mix(e units.Energy, t units.Time) float64 {
+	return float64(e) + float64(t) // want `mixes units dimensions units.Energy and units.Time`
+}
+
+// Shortfall subtracts watts from joules.
+func Shortfall(e units.Energy, p units.Power) float64 {
+	return float64(e) - float64(p) // want `mixes units dimensions units.Energy and units.Power`
+}
+
+// Exceeds compares watts against joules.
+func Exceeds(p units.Power, e units.Energy) bool {
+	return float64(p) > float64(e) // want `mixes units dimensions units.Power and units.Energy`
+}

@@ -1,0 +1,29 @@
+// Package estimate is a unitsafe fixture: dimensionally sound
+// arithmetic — same-dimension sums, the legitimate power × time product
+// (units.EnergyOf's shape), dimensionless conversions, and one
+// acknowledged deliberate mix.
+package estimate
+
+import "lppart/internal/units"
+
+// TotalRaw sums energies in raw float64: same dimension, fine.
+func TotalRaw(a, b units.Energy) float64 {
+	return float64(a) + float64(b)
+}
+
+// EnergyOf multiplies power by time: cross-dimension products are the
+// physics, not a bug.
+func EnergyOf(p units.Power, t units.Time) units.Energy {
+	return units.Energy(float64(p) * float64(t))
+}
+
+// Cycles-to-float conversions carry no dimension.
+func PerCycle(e units.Energy, cycles int64) float64 {
+	return float64(e) / (float64(cycles) + 1)
+}
+
+// Ratio deliberately compares joules to seconds (a normalized pair) and
+// says so.
+func Ratio(e units.Energy, t units.Time) bool {
+	return float64(e) > float64(t) //lint:units normalized magnitudes, deliberate
+}

@@ -1,0 +1,126 @@
+// Package unitsafe implements the lppartvet pass that keeps the energy
+// accounting dimensionally sound. The internal/units package wraps
+// energy, power and time in distinct named float64 types precisely so
+// the compiler rejects `Energy + Time`; the remaining hole is code that
+// strips the wrappers first — `float64(e) + float64(t)` type-checks and
+// silently adds joules to seconds. Every E_R/E_µP/E_rest term feeding
+// the paper's objective function (Fig. 1 line 13) flows through such
+// arithmetic, so a stripped-unit mix-up corrupts Table 1 without any
+// test noticing the dimension error.
+//
+// The pass flags additions, subtractions and comparisons whose two
+// operands are float64 conversions of *different* units dimensions.
+// Same-dimension conversions (summing energies in raw float64 for an
+// accumulator) and cross-dimension products (power × time in
+// units.EnergyOf) are legitimate and pass. A deliberate mix can be
+// acknowledged with //lint:units.
+package unitsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"lppart/internal/analysis"
+)
+
+// unitsPkgSuffix identifies the units package by path suffix so fixture
+// trees and the real module both resolve.
+const unitsPkgSuffix = "internal/units"
+
+// dimensioned names the units types that carry a physical dimension.
+var dimensioned = map[string]bool{
+	"Energy": true,
+	"Power":  true,
+	"Time":   true,
+}
+
+// Analyzer is the unitsafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitsafe",
+	Doc: "flag float64 arithmetic that mixes stripped units dimensions " +
+		"(energy/power/time) in + - < <= > >= == !=; keep values in their " +
+		"internal/units types or acknowledge with //lint:units",
+	Run: run,
+}
+
+// mixable are the operators for which operands must share a dimension.
+var mixable = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.LEQ: true,
+	token.GTR: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || !mixable[be.Op] {
+				return true
+			}
+			dx := dimensionOf(pass, be.X)
+			dy := dimensionOf(pass, be.Y)
+			if dx == "" || dy == "" || dx == dy {
+				return true
+			}
+			if pass.Suppressed(be.Pos(), "units") {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"raw float64 %q mixes units dimensions %s and %s; "+
+					"keep the operands in their internal/units types (//lint:units to override)",
+				be.Op, dx, dy)
+			return true
+		})
+	}
+	return nil
+}
+
+// dimensionOf returns the units dimension of an expression that is a
+// float64 conversion of a dimensioned units value (possibly
+// parenthesized), or "" when no dimension can be attributed.
+func dimensionOf(pass *analysis.Pass, e ast.Expr) string {
+	e = ast.Unparen(e)
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return ""
+	}
+	// The callee must be the type float64 itself (a conversion).
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return ""
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Kind() != types.Float64 {
+		return ""
+	}
+	return unitsDimension(pass.TypesInfo.TypeOf(call.Args[0]))
+}
+
+// unitsDimension names the dimension of a units-package named type.
+func unitsDimension(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !hasSuffixPath(obj.Pkg().Path(), unitsPkgSuffix) {
+		return ""
+	}
+	if dimensioned[obj.Name()] {
+		return "units." + obj.Name()
+	}
+	return ""
+}
+
+// hasSuffixPath reports whether path ends in suffix on a "/" boundary.
+func hasSuffixPath(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	n := len(path) - len(suffix)
+	return n > 0 && path[n-1] == '/' && path[n:] == suffix
+}

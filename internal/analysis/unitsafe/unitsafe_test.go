@@ -1,0 +1,23 @@
+package unitsafe_test
+
+import (
+	"testing"
+
+	"lppart/internal/analysis/analysistest"
+	"lppart/internal/analysis/unitsafe"
+)
+
+// TestDetectsMixedDimensions proves the pass catches stripped-unit
+// addition, subtraction and comparison across dimensions.
+func TestDetectsMixedDimensions(t *testing.T) {
+	diags := analysistest.Run(t, unitsafe.Analyzer, "bad")
+	if len(diags) != 3 {
+		t.Errorf("want 3 findings in fixture bad, got %d", len(diags))
+	}
+}
+
+// TestAcceptsSoundArithmetic proves same-dimension sums, cross-dimension
+// products and //lint:units acknowledgements all pass.
+func TestAcceptsSoundArithmetic(t *testing.T) {
+	analysistest.MustBeClean(t, unitsafe.Analyzer, "good")
+}

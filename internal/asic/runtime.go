@@ -107,13 +107,7 @@ func NewCore(id int, p *cdfg.Program, r *cdfg.Region, b *Binding, lay *codegen.L
 		return nil, err
 	}
 	// Everything referenced, for functional synchronization.
-	all := dataflow.NewSet()
-	for k := range gen {
-		all.Add(k)
-	}
-	for k := range use {
-		all.Add(k)
-	}
+	all := gen.Union(use)
 	if c.touched, err = spansOf(all); err != nil {
 		return nil, err
 	}

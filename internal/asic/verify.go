@@ -1,0 +1,124 @@
+package asic
+
+import (
+	"fmt"
+
+	"lppart/internal/tech"
+)
+
+// VerifyBinding checks a synthesized datapath against Fig. 4's own
+// premises: instance binding must respect the kind-level budget the
+// scheduler worked under, no instance may serve two operations in the
+// same (global) control step, and the derived aggregates — utilization
+// rate, hardware effort, clock — must be consistent with the instance
+// list. partition.Config.Verify runs it on every fresh binding before
+// the candidate enters selection.
+func VerifyBinding(b *Binding, lib *tech.Library) error {
+	if b == nil || b.Schedule == nil {
+		return fmt.Errorf("asic: verify: nil binding or schedule")
+	}
+	if lib == nil {
+		return fmt.Errorf("asic: verify: nil library")
+	}
+	rs := b.Schedule.Config.RS
+	r := b.Schedule.Region
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("asic: verify: region %s: %s", r.Label, fmt.Sprintf(format, args...))
+	}
+
+	// Control-step accounting: Steps is the FSM state count over all
+	// blocks, and BlockLen mirrors the per-block latencies.
+	totalSteps := 0
+	for _, bs := range b.Schedule.Blocks {
+		if got, ok := b.BlockLen[bs.Block.ID]; !ok || got != bs.Len {
+			return fail("BlockLen[b%d]=%d, schedule says %d", bs.Block.ID, got, bs.Len)
+		}
+		totalSteps += bs.Len
+	}
+	if b.Steps != totalSteps {
+		return fail("Steps=%d, block latencies sum to %d", b.Steps, totalSteps)
+	}
+
+	// Kind-level budget: Fig. 4 never instantiates beyond the scheduler's
+	// resource set.
+	for k := tech.ResourceKind(0); k < tech.NumResourceKinds; k++ {
+		if n, limit := b.InstanceCount(k), rs.Limit(k); n > limit {
+			return fail("%d instances of %v, budget %d", n, k, limit)
+		}
+	}
+
+	// Placement coverage and per-instance exclusivity, replayed over the
+	// same global step numbering Bind used (block latencies concatenated).
+	busy := make([]map[int]int, len(b.Instances)) // instance -> step -> op ID
+	for i := range busy {
+		busy[i] = make(map[int]int)
+	}
+	placed := 0
+	base := 0
+	for _, bs := range b.Schedule.Blocks {
+		for i := range bs.Ops {
+			p := &bs.Ops[i]
+			pl, ok := b.PlacementOf[p.Op.ID]
+			if !ok {
+				return fail("scheduled op %d has no placement", p.Op.ID)
+			}
+			placed++
+			if pl.Mem != p.Mem {
+				return fail("op %d memory placement disagrees with schedule", p.Op.ID)
+			}
+			if pl.Dur != p.Dur {
+				return fail("op %d bound for %d steps, scheduled for %d", p.Op.ID, pl.Dur, p.Dur)
+			}
+			if pl.Mem {
+				continue
+			}
+			if pl.Instance < 0 || pl.Instance >= len(b.Instances) {
+				return fail("op %d bound to missing instance %d", p.Op.ID, pl.Instance)
+			}
+			inst := b.Instances[pl.Instance]
+			if inst.Kind != pl.Kind || pl.Kind != p.Kind {
+				return fail("op %d kind mismatch: placed on %v, bound as %v, instance is %v",
+					p.Op.ID, p.Kind, pl.Kind, inst.Kind)
+			}
+			for s := base + p.Start; s < base+p.End(); s++ {
+				if prev, taken := busy[pl.Instance][s]; taken {
+					return fail("instance %v#%d serves ops %d and %d in step %d",
+						inst.Kind, inst.Index, prev, p.Op.ID, s)
+				}
+				busy[pl.Instance][s] = p.Op.ID
+			}
+		}
+		base += bs.Len
+	}
+	if placed != len(b.PlacementOf) {
+		return fail("%d placements recorded, %d ops scheduled", len(b.PlacementOf), placed)
+	}
+
+	// Aggregate consistency: utilization in [0,1] per Eq. 4, no instance
+	// busier than the cluster itself, GEQ and clock derived from the
+	// instance list.
+	geqDatapath := 0
+	for _, in := range b.Instances {
+		if in.ActiveWeighted < 0 || in.ActiveWeighted > b.NcycWeighted {
+			return fail("instance %v#%d active %d cycles of %d total",
+				in.Kind, in.Index, in.ActiveWeighted, b.NcycWeighted)
+		}
+		geqDatapath += lib.Resource(in.Kind).GEQ
+		if t := lib.Resource(in.Kind).Tcyc; b.Clock < t {
+			return fail("clock %v faster than instantiated %v (%v)", b.Clock, in.Kind, t)
+		}
+	}
+	if b.URate < 0 || b.URate > 1 {
+		return fail("utilization rate %g outside [0,1]", b.URate)
+	}
+	if b.GEQDatapath != geqDatapath {
+		return fail("datapath GEQ %d, instances sum to %d", b.GEQDatapath, geqDatapath)
+	}
+	if want := lib.ControllerGEQPerStep * b.Steps; b.GEQController != want {
+		return fail("controller GEQ %d, %d steps require %d", b.GEQController, b.Steps, want)
+	}
+	if b.Clock < minClock {
+		return fail("clock %v below controller floor %v", b.Clock, minClock)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package asic
+
+import (
+	"strings"
+	"testing"
+
+	"lppart/internal/tech"
+)
+
+// boundFIR builds, schedules and binds the FIR kernel, asserting the
+// fresh binding passes VerifyBinding before the caller tampers with it.
+func boundFIR(t *testing.T) (*Binding, *tech.Library) {
+	t.Helper()
+	_, loop, rsched, prof := buildScheduled(t, firSrc)
+	lib := tech.Default()
+	b, err := Bind(rsched, lib, func(bid int) int64 {
+		return prof.BlockCount(loop.Func, bid)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyBinding(b, lib); err != nil {
+		t.Fatalf("fresh binding fails VerifyBinding: %v", err)
+	}
+	return b, lib
+}
+
+func wantBindingError(t *testing.T, b *Binding, lib *tech.Library, substr string) {
+	t.Helper()
+	err := VerifyBinding(b, lib)
+	if err == nil {
+		t.Fatalf("VerifyBinding accepted bad binding, want error containing %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Errorf("VerifyBinding error %q does not mention %q", err, substr)
+	}
+}
+
+func TestVerifyBindingNilInputs(t *testing.T) {
+	b, lib := boundFIR(t)
+	if VerifyBinding(nil, lib) == nil {
+		t.Error("nil binding must fail")
+	}
+	if VerifyBinding(b, nil) == nil {
+		t.Error("nil library must fail")
+	}
+}
+
+func TestVerifyBindingDetectsDoubleBooking(t *testing.T) {
+	b, lib := boundFIR(t)
+	// Rebind every datapath op onto instance 0: some pair must collide in
+	// a control step (or at least break the kind budget).
+	for id, pl := range b.PlacementOf { //lint:ordered error detection only, first hit aborts
+		if !pl.Mem {
+			pl.Instance = 0
+			pl.Kind = b.Instances[0].Kind
+			b.PlacementOf[id] = pl
+		}
+	}
+	if err := VerifyBinding(b, lib); err == nil {
+		t.Fatal("VerifyBinding accepted a binding with everything on one instance")
+	}
+}
+
+func TestVerifyBindingDetectsUtilizationOutOfRange(t *testing.T) {
+	b, lib := boundFIR(t)
+	b.URate = 1.25
+	wantBindingError(t, b, lib, "outside [0,1]")
+}
+
+func TestVerifyBindingDetectsOveractiveInstance(t *testing.T) {
+	b, lib := boundFIR(t)
+	b.Instances[0].ActiveWeighted = b.NcycWeighted + 1
+	wantBindingError(t, b, lib, "active")
+}
+
+func TestVerifyBindingDetectsGEQMismatch(t *testing.T) {
+	b, lib := boundFIR(t)
+	b.GEQDatapath += 50
+	wantBindingError(t, b, lib, "instances sum")
+}
+
+func TestVerifyBindingDetectsStepMiscount(t *testing.T) {
+	b, lib := boundFIR(t)
+	b.Steps++
+	// GEQController is consistent with the old Steps, but the step count
+	// no longer matches the schedule.
+	wantBindingError(t, b, lib, "latencies sum")
+}
+
+func TestVerifyBindingDetectsMissingPlacement(t *testing.T) {
+	b, lib := boundFIR(t)
+	for id := range b.PlacementOf { //lint:ordered deleting one arbitrary placement
+		delete(b.PlacementOf, id)
+		break
+	}
+	wantBindingError(t, b, lib, "no placement")
+}
+
+func TestVerifyBindingDetectsSlowInstanceClock(t *testing.T) {
+	b, lib := boundFIR(t)
+	b.Clock = minClock / 2
+	wantBindingError(t, b, lib, "clock")
+}

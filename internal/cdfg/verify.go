@@ -1,0 +1,254 @@
+package cdfg
+
+import "fmt"
+
+// Verify checks the structural invariants every downstream consumer
+// (interpreter, scheduler, code generator, partitioner) relies on. It is
+// the static half of the paper's Fig. 1 "verify" step, run after IR
+// construction when partition.Config.Verify is set and from the
+// regression tests:
+//
+//   - every basic block ends in exactly one terminator, and every
+//     successor/entry block ID resolves;
+//   - every operand reference (scalar slot, array, immediate arity)
+//     resolves against the program's variable tables with the right
+//     shape for its opcode;
+//   - the region tree is well-formed: entries belong to their regions,
+//     children's blocks are subsets of their parent's, sibling regions
+//     are disjoint;
+//   - compiler temporaries are defined before use within their block
+//     (the block-local lifetime the scheduler's register-sharing
+//     estimate and the dataflow analysis both assume).
+//
+// The companion dataflow.VerifyGenUse covers the Fig. 3 gen/use set
+// consistency (dataflow imports cdfg, so the check lives a layer up);
+// partition.Config.Verify runs both.
+//
+// Verify is read-only and safe for concurrent use on a shared Program.
+func Verify(p *Program) error {
+	if p == nil {
+		return fmt.Errorf("cdfg: verify: nil program")
+	}
+	for _, f := range p.Funcs {
+		if err := verifyFunc(p, f); err != nil {
+			return err
+		}
+		if f.Root != nil {
+			if err := verifyRegionTree(p, f.Root, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// verifyFunc checks block structure, operand resolution and temporary
+// def-before-use for one function.
+func verifyFunc(p *Program, f *Function) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("cdfg: verify: func %s: %s", f.Name, fmt.Sprintf(format, args...))
+	}
+	if f.Entry < 0 || f.Entry >= len(f.Blocks) {
+		return fail("entry block %d out of range", f.Entry)
+	}
+	for _, pid := range f.Params {
+		if pid < 0 || pid >= len(f.Locals) {
+			return fail("parameter local %d out of range", pid)
+		}
+	}
+	validBlock := func(id int) bool { return id >= 0 && id < len(f.Blocks) }
+	seenOpIDs := make(map[int]bool)
+	for bi, b := range f.Blocks {
+		if b.ID != bi {
+			return fail("block at index %d has ID %d", bi, b.ID)
+		}
+		if b.Terminator() == nil {
+			return fail("block b%d does not end in a terminator", b.ID)
+		}
+		// Temporaries are block-local: a read must follow a write in the
+		// same block.
+		tempDefined := make(map[int]bool)
+		for oi := range b.Ops {
+			op := &b.Ops[oi]
+			if op.Code.IsTerminator() && oi != len(b.Ops)-1 {
+				return fail("block b%d has mid-block terminator %v at op %d", b.ID, op.Code, oi)
+			}
+			if seenOpIDs[op.ID] {
+				return fail("duplicate op ID %d in block b%d", op.ID, b.ID)
+			}
+			seenOpIDs[op.ID] = true
+			if err := verifyOp(p, f, b, op, tempDefined); err != nil {
+				return err
+			}
+		}
+		switch t := b.Terminator(); t.Code {
+		case Br:
+			if !validBlock(t.Target) {
+				return fail("block b%d branches to missing block %d", b.ID, t.Target)
+			}
+		case CBr:
+			if !validBlock(t.Then) || !validBlock(t.Else) {
+				return fail("block b%d cbr to missing block (%d/%d)", b.ID, t.Then, t.Else)
+			}
+		}
+	}
+	return nil
+}
+
+// verifyOp checks one operation's operand shape and reference validity.
+func verifyOp(p *Program, f *Function, b *Block, op *Op, tempDefined map[int]bool) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("cdfg: verify: func %s b%d op %d (%v): %s",
+			f.Name, b.ID, op.ID, op.Code, fmt.Sprintf(format, args...))
+	}
+	checkVar := func(r VarRef, what string) error {
+		if r.Global {
+			if r.ID < 0 || r.ID >= len(p.Globals) {
+				return fail("%s references missing global %d", what, r.ID)
+			}
+			return nil
+		}
+		if r.ID < 0 || r.ID >= len(f.Locals) {
+			return fail("%s references missing local %d", what, r.ID)
+		}
+		return nil
+	}
+	checkUse := func(o Operand, what string) error {
+		if !o.Valid() || o.IsConst {
+			return nil
+		}
+		if err := checkVar(o.Ref, what); err != nil {
+			return err
+		}
+		if !o.Ref.Global && f.Locals[o.Ref.ID].Temp && !tempDefined[o.Ref.ID] {
+			return fail("%s reads temporary %s before any definition in its block",
+				what, f.Locals[o.Ref.ID].Name)
+		}
+		return nil
+	}
+	checkArr := func(a ArrRef) error {
+		if !a.Valid() {
+			return fail("missing array reference")
+		}
+		var v Var
+		if a.Global {
+			if a.ID < 0 || a.ID >= len(p.Globals) {
+				return fail("references missing global array %d", a.ID)
+			}
+			v = p.Globals[a.ID]
+		} else {
+			if a.ID < 0 || a.ID >= len(f.Locals) {
+				return fail("references missing local array %d", a.ID)
+			}
+			v = f.Locals[a.ID]
+		}
+		if !v.IsArray() {
+			return fail("array reference names scalar %s", v.Name)
+		}
+		return nil
+	}
+
+	// Operand shape per opcode class.
+	switch {
+	case op.Code.IsBinary():
+		if !op.A.Valid() || !op.B.Valid() {
+			return fail("binary op missing an operand")
+		}
+	case op.Code.IsUnary():
+		if !op.A.Valid() {
+			return fail("unary op missing operand A")
+		}
+	case op.Code == Load:
+		if err := checkArr(op.Arr); err != nil {
+			return err
+		}
+		if !op.A.Valid() {
+			return fail("load missing index operand")
+		}
+	case op.Code == Store:
+		if err := checkArr(op.Arr); err != nil {
+			return err
+		}
+		if !op.A.Valid() || !op.B.Valid() {
+			return fail("store missing index or value operand")
+		}
+	case op.Code == CBr:
+		if !op.A.Valid() {
+			return fail("cbr missing condition operand")
+		}
+	}
+	// Reads before the write takes effect.
+	for _, o := range []Operand{op.A, op.B} {
+		if err := checkUse(o, "operand"); err != nil {
+			return err
+		}
+	}
+	for _, a := range op.Args {
+		if err := checkUse(a, "argument"); err != nil {
+			return err
+		}
+	}
+	// The write.
+	if d := op.Def(); d.Valid() {
+		if err := checkVar(d, "destination"); err != nil {
+			return err
+		}
+		if !d.Global && f.Locals[d.ID].Temp {
+			tempDefined[d.ID] = true
+		}
+	}
+	return nil
+}
+
+// verifyRegionTree checks the cluster tree's containment invariants.
+func verifyRegionTree(p *Program, r *Region, parent *Region) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("cdfg: verify: region %s: %s", r.Label, fmt.Sprintf(format, args...))
+	}
+	if r.Func == nil {
+		return fail("region has no function")
+	}
+	if r.Parent != parent {
+		return fail("parent pointer mismatch")
+	}
+	if len(r.Blocks) == 0 {
+		return fail("region has no blocks")
+	}
+	blocks := make(map[int]bool, len(r.Blocks))
+	for _, bid := range r.Blocks {
+		if bid < 0 || bid >= len(r.Func.Blocks) {
+			return fail("block %d out of range", bid)
+		}
+		if blocks[bid] {
+			return fail("block %d listed twice", bid)
+		}
+		blocks[bid] = true
+	}
+	if !blocks[r.Entry] {
+		return fail("entry block %d not in region", r.Entry)
+	}
+	if parent != nil {
+		for _, bid := range r.Blocks {
+			if !parent.Contains(bid) {
+				return fail("block %d not contained in parent %s", bid, parent.Label)
+			}
+		}
+	}
+	// Sibling clusters never share blocks (nested-loop/if decomposition).
+	for i, a := range r.Children {
+		for _, b := range r.Children[i+1:] {
+			for _, bid := range b.Blocks {
+				if a.Contains(bid) {
+					return fail("children %s and %s share block %d", a.Label, b.Label, bid)
+				}
+			}
+		}
+	}
+	for _, c := range r.Children {
+		if err := verifyRegionTree(p, c, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+

@@ -1,0 +1,194 @@
+package cdfg
+
+import (
+	"strings"
+	"testing"
+
+	"lppart/internal/behav"
+)
+
+func buildVerified(t *testing.T, src string) *Program {
+	t.Helper()
+	p := MustBuild(behav.MustParse("t", src))
+	if err := Verify(p); err != nil {
+		t.Fatalf("freshly built program fails Verify: %v", err)
+	}
+	return p
+}
+
+const verifySrc = `
+var a[16]; var total;
+func main() {
+	var i; var v;
+	for i = 0; i < 16; i = i + 1 {
+		v = a[i] * 3;
+		total = total + v;
+	}
+}
+`
+
+func wantVerifyError(t *testing.T, p *Program, substr string) {
+	t.Helper()
+	err := Verify(p)
+	if err == nil {
+		t.Fatalf("Verify accepted bad IR, want error containing %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Errorf("Verify error %q does not mention %q", err, substr)
+	}
+}
+
+func TestVerifyAcceptsBuiltPrograms(t *testing.T) {
+	for _, src := range []string{
+		verifySrc,
+		"func main() { var i; for i = 0; i < 4; i = i + 1 { } }",
+		`var m[64]; var s;
+		func main() {
+			var i; var j;
+			for i = 0; i < 8; i = i + 1 {
+				for j = 0; j < 8; j = j + 1 { s = s + m[i*8+j]; }
+			}
+		}`,
+	} {
+		buildVerified(t, src)
+	}
+}
+
+func TestVerifyNilProgram(t *testing.T) {
+	if Verify(nil) == nil {
+		t.Error("nil program must fail")
+	}
+}
+
+func TestVerifyMissingTerminator(t *testing.T) {
+	p := buildVerified(t, verifySrc)
+	f := p.Func("main")
+	b := f.Blocks[f.Entry]
+	b.Ops = b.Ops[:len(b.Ops)-1]
+	wantVerifyError(t, p, "terminator")
+}
+
+func TestVerifyDanglingBranchTarget(t *testing.T) {
+	p := buildVerified(t, verifySrc)
+	f := p.Func("main")
+	for _, b := range f.Blocks {
+		if term := b.Terminator(); term != nil && term.Code == Br {
+			term.Target = len(f.Blocks) + 7
+			wantVerifyError(t, p, "missing block")
+			return
+		}
+	}
+	t.Fatal("no unconditional branch found")
+}
+
+func TestVerifyDuplicateOpID(t *testing.T) {
+	p := buildVerified(t, verifySrc)
+	f := p.Func("main")
+	var ids []int
+	for _, b := range f.Blocks {
+		for i := range b.Ops {
+			ids = append(ids, b.Ops[i].ID)
+		}
+	}
+	// Give the last op the first op's ID.
+	last := f.Blocks[len(f.Blocks)-1]
+	last.Ops[len(last.Ops)-1].ID = ids[0]
+	wantVerifyError(t, p, "duplicate op ID")
+}
+
+func TestVerifyOperandOutOfRange(t *testing.T) {
+	p := buildVerified(t, verifySrc)
+	f := p.Func("main")
+	for _, b := range f.Blocks {
+		for i := range b.Ops {
+			op := &b.Ops[i]
+			if op.Code.IsBinary() && op.A.Valid() && !op.A.IsConst {
+				op.A.Ref.ID = len(f.Locals) + len(p.Globals) + 99
+				wantVerifyError(t, p, "missing")
+				return
+			}
+		}
+	}
+	t.Fatal("no binary op with a variable operand found")
+}
+
+func TestVerifyArrayRefNamesScalar(t *testing.T) {
+	p := buildVerified(t, verifySrc)
+	f := p.Func("main")
+	// Point a load at the scalar global `total`.
+	scalar := -1
+	for gi, g := range p.Globals {
+		if !g.IsArray() {
+			scalar = gi
+			break
+		}
+	}
+	if scalar < 0 {
+		t.Fatal("no scalar global")
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Ops {
+			if b.Ops[i].Code == Load {
+				b.Ops[i].Arr = ArrRef{Global: true, ID: scalar}
+				wantVerifyError(t, p, "scalar")
+				return
+			}
+		}
+	}
+	t.Fatal("no load found")
+}
+
+func TestVerifyTempReadBeforeDef(t *testing.T) {
+	p := buildVerified(t, verifySrc)
+	f := p.Func("main")
+	// Find a block where a temporary is defined and then read, and delete
+	// the defining op: the read becomes upward-exposed, which Verify must
+	// reject (temporaries are block-local).
+	for _, b := range f.Blocks {
+		for i := range b.Ops {
+			d := b.Ops[i].Def()
+			if !d.Valid() || d.Global || !f.Locals[d.ID].Temp {
+				continue
+			}
+			readLater := false
+			for j := i + 1; j < len(b.Ops); j++ {
+				for _, u := range b.Ops[j].Uses() {
+					if !u.Global && u.ID == d.ID {
+						readLater = true
+					}
+				}
+			}
+			if !readLater {
+				continue
+			}
+			b.Ops = append(b.Ops[:i:i], b.Ops[i+1:]...)
+			wantVerifyError(t, p, "before any definition")
+			return
+		}
+	}
+	t.Fatal("no defined-then-read temporary found")
+}
+
+func TestVerifyRegionEntryOutsideRegion(t *testing.T) {
+	p := buildVerified(t, verifySrc)
+	for _, r := range p.Regions() {
+		if r.Kind == RegionLoop {
+			r.Entry = -1
+			wantVerifyError(t, p, "not in region")
+			return
+		}
+	}
+	t.Fatal("no loop region")
+}
+
+func TestVerifyRegionParentMismatch(t *testing.T) {
+	p := buildVerified(t, verifySrc)
+	for _, r := range p.Regions() {
+		if r.Kind == RegionLoop {
+			r.Parent = nil
+			wantVerifyError(t, p, "parent pointer")
+			return
+		}
+	}
+	t.Fatal("no loop region")
+}

@@ -22,8 +22,11 @@ import (
 )
 
 // DefaultWorkers returns the fan-out width used when a caller passes a
-// non-positive worker count: one worker per available CPU.
-func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+// non-positive worker count: one worker per available CPU. This is the
+// one sanctioned host probe in the library (nondetsource pass): the
+// engine's contract — and the determinism regression tests — guarantee
+// the worker count cannot change any result.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) } //lint:nondet sizing only; results are worker-count-invariant
 
 // Map evaluates fn over every item on a bounded worker pool and returns
 // the results in input order. workers <= 0 selects DefaultWorkers();

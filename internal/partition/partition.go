@@ -7,6 +7,7 @@ import (
 
 	"lppart/internal/asic"
 	"lppart/internal/cdfg"
+	"lppart/internal/dataflow"
 	"lppart/internal/explore"
 	"lppart/internal/interp"
 	"lppart/internal/iss"
@@ -57,6 +58,13 @@ type Config struct {
 	// byte-identical at any worker count: grid results are merged in
 	// deterministic (cluster rank, set index) order.
 	Workers int
+	// Verify runs the pipeline-stage verifiers alongside the process:
+	// cdfg.Verify and dataflow.VerifyGenUse on the input program,
+	// sched.VerifyIR and asic.VerifyBinding on every freshly computed
+	// schedule/binding, and AuditDecision on the result. Any violation
+	// aborts Partition with an error — these are internal invariants, so
+	// a failure is a bug, not a property of the design space.
+	Verify bool
 }
 
 func (c *Config) defaults() {
@@ -227,6 +235,16 @@ func Partition(p *cdfg.Program, prof *interp.Profile, base *Baseline, cfg Config
 	if prof == nil || base == nil {
 		return nil, fmt.Errorf("partition: profile and baseline are required")
 	}
+	if cfg.Verify {
+		if err := cdfg.Verify(p); err != nil {
+			return nil, err
+		}
+		for _, r := range p.Regions() {
+			if err := dataflow.VerifyGenUse(p, r); err != nil {
+				return nil, err
+			}
+		}
+	}
 	dec := &Decision{BaselineOF: cfg.F}
 	cum := cumulative(p, base.Regions)
 
@@ -333,6 +351,9 @@ func Partition(p *cdfg.Program, prof *interp.Profile, base *Baseline, cfg Config
 		var best *Choice
 		for i, r := range results {
 			t := tasks[i]
+			if r.br.verifyErr != nil {
+				return nil, r.br.verifyErr
+			}
 			if r.fresh {
 				memo[memoKey{t.c.Region.ID, t.si}] = r.br
 				dec.Memo.Binds++
@@ -364,6 +385,11 @@ func Partition(p *cdfg.Program, prof *interp.Profile, base *Baseline, cfg Config
 	}
 	if len(dec.Choices) > 0 {
 		dec.Chosen = dec.Choices[0]
+	}
+	if cfg.Verify {
+		if err := AuditDecision(dec, base, cfg); err != nil {
+			return nil, err
+		}
 	}
 	return dec, nil
 }
@@ -444,6 +470,10 @@ type bindResult struct {
 	binding *asic.Binding
 	geq     int
 	uASIC   float64
+	// verifyErr records a Config.Verify violation found while computing
+	// this result; unlike err (a property of the design point, e.g.
+	// unschedulable) it aborts the whole Partition call.
+	verifyErr error
 }
 
 // scheduleBind runs the expensive half: Fig. 1 line 8's list schedule and
@@ -457,6 +487,12 @@ func scheduleBind(prof *interp.Profile, cfg Config, c *Candidate, rs *tech.Resou
 		br.reason = "unschedulable: " + err.Error()
 		return br
 	}
+	if cfg.Verify {
+		if err := sched.VerifyIR(rsched); err != nil {
+			br.verifyErr = err
+			return br
+		}
+	}
 	// Fig. 4: bind, GEQ, U_R.
 	binding, err := asic.Bind(rsched, cfg.Lib, func(bid int) int64 {
 		return prof.BlockCount(c.Region.Func, bid)
@@ -465,6 +501,12 @@ func scheduleBind(prof *interp.Profile, cfg Config, c *Candidate, rs *tech.Resou
 		br.err = err
 		br.reason = "binding failed: " + err.Error()
 		return br
+	}
+	if cfg.Verify {
+		if err := asic.VerifyBinding(binding, cfg.Lib); err != nil {
+			br.verifyErr = err
+			return br
+		}
 	}
 	br.binding = binding
 	br.geq = binding.GEQTotal()

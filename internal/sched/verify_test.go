@@ -1,0 +1,163 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"lppart/internal/cdfg"
+	"lppart/internal/tech"
+)
+
+// scheduleFor builds and schedules a loop, asserting the fresh schedule
+// passes VerifyIR before the caller tampers with it.
+func scheduleFor(t *testing.T, cfg Config, src string) *RegionSchedule {
+	t.Helper()
+	_, loop := buildLoop(t, src)
+	rs, err := ScheduleRegion(cfg, loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyIR(rs); err != nil {
+		t.Fatalf("fresh schedule fails VerifyIR: %v", err)
+	}
+	return rs
+}
+
+const verifyLoopSrc = `
+var a[16]; var o[16];
+func main() {
+	var i;
+	for i = 0; i < 16; i = i + 1 {
+		o[i] = (a[i] * 5 + 3) ^ (a[i] >> 2);
+	}
+}
+`
+
+func wantIRError(t *testing.T, rs *RegionSchedule, substr string) {
+	t.Helper()
+	err := VerifyIR(rs)
+	if err == nil {
+		t.Fatalf("VerifyIR accepted bad schedule, want error containing %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Errorf("VerifyIR error %q does not mention %q", err, substr)
+	}
+}
+
+// busiestBlock returns the block schedule with the most placed ops.
+func busiestBlock(rs *RegionSchedule) *BlockSchedule {
+	best := rs.Blocks[0]
+	for _, bs := range rs.Blocks {
+		if len(bs.Ops) > len(best.Ops) {
+			best = bs
+		}
+	}
+	return best
+}
+
+func TestVerifyIRNilAndConfig(t *testing.T) {
+	if VerifyIR(nil) == nil {
+		t.Error("nil schedule must fail")
+	}
+	if VerifyIR(&RegionSchedule{}) == nil {
+		t.Error("schedule without config must fail")
+	}
+}
+
+func TestVerifyIRDetectsPrecedenceViolation(t *testing.T) {
+	rs := scheduleFor(t, stdConfig(), verifyLoopSrc)
+	// Collapse every op of the busiest block to step 0: the dependence
+	// chain (load → mul → add → xor → store) breaks.
+	bs := busiestBlock(rs)
+	for i := range bs.Ops {
+		bs.Ops[i].Start = 0
+	}
+	if err := VerifyIR(rs); err == nil {
+		t.Fatal("VerifyIR accepted a schedule with all ops at step 0")
+	}
+}
+
+func TestVerifyIRDetectsCapacityViolation(t *testing.T) {
+	// Six independent adds on a single ALU: force two onto the same step.
+	lib := tech.Default()
+	one := tech.ResourceSet{Name: "one-alu"}
+	one.Max[tech.ALU] = 1
+	one.Max[tech.Comparator] = 1
+	cfg := Config{Lib: lib, RS: &one}
+	rs := scheduleFor(t, cfg, `
+var a; var b; var s1; var s2;
+func main() {
+	var i;
+	for i = 0; i < 2; i = i + 1 {
+		s1 = a + 1; s2 = b + 2;
+	}
+}
+`)
+	bs := busiestBlock(rs)
+	// The two adds are independent, so moving one onto the other's step
+	// violates only the one-ALU budget, never precedence.
+	var adds []*PlacedOp
+	for i := range bs.Ops {
+		if bs.Ops[i].Op.Code == cdfg.Add && !bs.Ops[i].Mem {
+			adds = append(adds, &bs.Ops[i])
+		}
+	}
+	if len(adds) < 2 {
+		t.Fatalf("found %d placed adds, want >= 2", len(adds))
+	}
+	adds[1].Start = adds[0].Start
+	wantIRError(t, rs, "budget")
+}
+
+func TestVerifyIRDetectsWrongDuration(t *testing.T) {
+	rs := scheduleFor(t, stdConfig(), verifyLoopSrc)
+	bs := busiestBlock(rs)
+	for i := range bs.Ops {
+		if bs.Ops[i].Op.Code == cdfg.Mul && !bs.Ops[i].Mem {
+			bs.Ops[i].Dur++ // multi-cycle multiply claims one extra cycle
+			wantIRError(t, rs, "library says")
+			return
+		}
+	}
+	t.Fatal("no placed multiply")
+}
+
+func TestVerifyIRDetectsAbsentKind(t *testing.T) {
+	rs := scheduleFor(t, stdConfig(), verifyLoopSrc)
+	bs := busiestBlock(rs)
+	for i := range bs.Ops {
+		if bs.Ops[i].Op.Code == cdfg.Mul && !bs.Ops[i].Mem {
+			bs.Ops[i].Kind = tech.Divider // rs-std has no divider
+			wantIRError(t, rs, "absent from set")
+			return
+		}
+	}
+	t.Fatal("no placed multiply")
+}
+
+func TestVerifyIRDetectsWrongLatency(t *testing.T) {
+	rs := scheduleFor(t, stdConfig(), verifyLoopSrc)
+	bs := busiestBlock(rs)
+	bs.Len++
+	wantIRError(t, rs, "latency")
+}
+
+func TestVerifyIRDetectsMissingOp(t *testing.T) {
+	rs := scheduleFor(t, stdConfig(), verifyLoopSrc)
+	bs := busiestBlock(rs)
+	bs.Ops = bs.Ops[:len(bs.Ops)-1]
+	wantIRError(t, rs, "schedulable")
+}
+
+func TestVerifyIRDetectsWrongClass(t *testing.T) {
+	rs := scheduleFor(t, stdConfig(), verifyLoopSrc)
+	bs := busiestBlock(rs)
+	for i := range bs.Ops {
+		if !bs.Ops[i].Mem {
+			bs.Ops[i].Class = tech.OpDivRem
+			wantIRError(t, rs, "class")
+			return
+		}
+	}
+	t.Fatal("no datapath op")
+}

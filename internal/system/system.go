@@ -289,8 +289,11 @@ func EvaluateIR(ir *cdfg.Program, cfg Config) (*Evaluation, error) {
 	// Fold the ASIC's transfer traffic into the shared bus/memory cores.
 	pd.EBus = pb.Energy() + asicBus.Energy()
 	pd.EMem = pm.Energy() + asicMem.Energy()
-	for _, core := range cores {
-		pd.EASIC += core.Energy
+	// Sum per-core energies in core-index order: float addition is not
+	// associative, so map-order iteration would make the total's low bits
+	// (and the byte-identical Table 1 contract) run-dependent.
+	for i := range dec.Choices {
+		pd.EASIC += cores[int32(i)].Energy
 	}
 	pd.ASICCycles = pd.ISS.ASICCycles
 	pd.GEQ = totalGEQ
