@@ -1,0 +1,88 @@
+// Command lppartd serves the partitioning flow over HTTP: POST
+// /v1/partition runs the paper's Fig. 1 loop (decision trail + Table 1
+// row), POST /v1/sweep runs a cache-geometry sweep, GET /v1/apps lists
+// the built-in applications, and /metrics exposes Prometheus-text
+// counters, latency histograms and worker-pool gauges. Evaluations run
+// on a bounded worker pool behind a bounded queue (overload is shed
+// fast with 429), identical in-flight requests coalesce onto one
+// computation, and finished bodies are cached in an LRU keyed by the
+// canonical request hash — cached and computed responses are
+// byte-identical.
+//
+// Usage:
+//
+//	lppartd                         # serve on :8095 with 4 workers
+//	lppartd -addr=:9000 -workers=8 -queue=128 -cache=4096 -timeout=60s
+//
+// On SIGINT/SIGTERM the daemon drains: /readyz flips to 503, new
+// evaluations are shed, in-flight work completes (up to -drain), then
+// the listener shuts down.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lppart/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8095", "listen address")
+		workers = flag.Int("workers", 4, "concurrent evaluation workers")
+		queue   = flag.Int("queue", 64, "admission queue depth (beyond this, requests are shed with 429)")
+		entries = flag.Int("cache", 1024, "result cache entries")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request evaluation deadline")
+		drain   = flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight evaluations")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "lppartd: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *entries,
+		Timeout:      *timeout,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	fmt.Fprintf(os.Stderr, "lppartd: serving on %s (%d workers, queue %d, cache %d)\n",
+		*addr, *workers, *queue, *entries)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "lppartd: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "lppartd: %v: draining (grace %s)\n", sig, *drain)
+	}
+
+	// Graceful drain: stop admitting evaluations and advertising
+	// readiness, let in-flight work finish, then stop the listener. If
+	// the grace period runs out, abort the remaining evaluations.
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "lppartd: grace period expired: %v\n", err)
+		srv.Abort()
+		hs.Close()
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "lppartd: drained cleanly")
+}

@@ -32,13 +32,17 @@ var gated = map[string]bool{
 	"explore":   true,
 	"asic":      true,
 	"stackdist": true,
+	"serve":     true,
+	"client":    true,
+	"metrics":   true,
 }
 
 // Analyzer is the detrange pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "detrange",
 	Doc: "flag nondeterministic map iteration in result-producing packages " +
-		"(partition, sched, system, report, explore, asic, stackdist); " +
+		"(partition, sched, system, report, explore, asic, stackdist, " +
+		"serve, client, metrics); " +
 		"iterate sorted keys or acknowledge order-insensitive loops with //lint:ordered",
 	Run: run,
 }

@@ -1,0 +1,65 @@
+package behav
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the front end with adversarial sources, the way the
+// serving layer receives them. The corpus seeds live under
+// testdata/fuzz/FuzzParse (valid programs, every front-end error class,
+// pathological nesting); go's fuzzer loads them automatically.
+//
+// Invariants: ParseLimited never panics, never returns (nil, nil), caps
+// the accepted size, and every front-end failure is either a *SizeError
+// or a *Error with a valid 1-based source position — the contract the
+// served JSON error body relies on.
+func FuzzParse(f *testing.F) {
+	f.Add("func main() { }")
+	f.Add("const N = 4;\nvar a[N];\nfunc main() { var i; for i = 0; i < N; i = i + 1 { a[i] = i; } }")
+	f.Add("func main() { x = ; }")
+	f.Add("var \x00;")
+	f.Add(strings.Repeat("(", 4096))
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParseLimited("fuzz", src, 1<<16)
+		if err == nil {
+			if p == nil {
+				t.Fatal("ParseLimited returned (nil, nil)")
+			}
+			return
+		}
+		if p != nil {
+			t.Fatalf("ParseLimited returned a program alongside error %v", err)
+		}
+		var se *SizeError
+		if errors.As(err, &se) {
+			if len(src) <= 1<<16 {
+				t.Fatalf("SizeError for %d-byte source under the %d-byte cap", len(src), 1<<16)
+			}
+			return
+		}
+		var pe *Error
+		if !errors.As(err, &pe) {
+			t.Fatalf("front-end error is neither *SizeError nor *Error: %T %v", err, err)
+		}
+		if pe.Pos.Line < 1 || pe.Pos.Col < 1 {
+			t.Fatalf("error position %v is not 1-based", pe.Pos)
+		}
+	})
+}
+
+func TestParseLimitedSizeCap(t *testing.T) {
+	big := "# " + strings.Repeat("x", DefaultMaxSourceBytes) + "\nfunc main() { }"
+	_, err := ParseLimited("big", big, 0)
+	var se *SizeError
+	if !errors.As(err, &se) {
+		t.Fatalf("oversized source: err = %v, want *SizeError", err)
+	}
+	if se.Limit != DefaultMaxSourceBytes || se.Size != len(big) {
+		t.Errorf("SizeError = %+v, want size %d limit %d", se, len(big), DefaultMaxSourceBytes)
+	}
+	if _, err := ParseLimited("ok", "func main() { }", 0); err != nil {
+		t.Fatalf("small source rejected: %v", err)
+	}
+}

@@ -16,6 +16,7 @@
 package explore
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,17 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) } //lint:nondet sizing 
 // lowest-index failure, so the (result, error) pair is deterministic at
 // any worker count.
 func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	return MapCtx(context.Background(), workers, items, fn)
+}
+
+// MapCtx is Map with cancellation: every worker checks ctx before picking
+// up its next item, so a cancelled (or deadline-expired) fan-out stops
+// scheduling new work as soon as the in-flight items return. A cancelled
+// call returns (nil, ctx.Err()) — cancellation wins over any item error,
+// so the outcome stays deterministic: callers observe either the complete,
+// worker-count-invariant Map result or the bare context error, never a
+// partial mixture that depends on how far the pool had progressed.
+func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
 	n := len(items)
 	out := make([]R, n)
 	errs := make([]error, n)
@@ -48,6 +60,9 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 	}
 	if workers <= 1 {
 		for i := range items {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			out[i], errs[i] = fn(i, items[i])
 		}
 	} else {
@@ -57,7 +72,7 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
-				for {
+				for ctx.Err() == nil {
 					i := int(cursor.Add(1)) - 1
 					if i >= n {
 						return
@@ -67,6 +82,9 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 			}()
 		}
 		wg.Wait()
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
 	}
 	for _, err := range errs {
 		if err != nil {

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -100,5 +101,61 @@ func TestMapBoundsConcurrency(t *testing.T) {
 func TestDefaultWorkersPositive(t *testing.T) {
 	if DefaultWorkers() < 1 {
 		t.Errorf("DefaultWorkers() = %d, want >= 1", DefaultWorkers())
+	}
+}
+
+func TestMapCtxCancelStopsScheduling(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int64
+		items := make([]int, 1000)
+		out, err := MapCtx(ctx, workers, items, func(i, _ int) (int, error) {
+			if started.Add(1) == int64(workers) {
+				cancel() // cancel while the pool is mid-fan-out
+			}
+			return i, nil
+		})
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if out != nil {
+			t.Errorf("workers=%d: cancelled fan-out returned results", workers)
+		}
+		if got := started.Load(); got >= int64(len(items)) {
+			t.Errorf("workers=%d: all %d items ran despite cancellation", workers, got)
+		}
+	}
+}
+
+func TestMapCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	out, err := MapCtx(ctx, 4, make([]int, 50), func(i, _ int) (int, error) {
+		calls.Add(1)
+		return i, nil
+	})
+	if err != context.Canceled || out != nil {
+		t.Fatalf("got (%v, %v), want (nil, context.Canceled)", out, err)
+	}
+	if calls.Load() != 0 {
+		t.Errorf("%d items ran under a pre-cancelled context", calls.Load())
+	}
+}
+
+func TestMapCtxBackgroundMatchesMap(t *testing.T) {
+	items := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	want, err := Map(4, items, func(i, v int) (int, error) { return v * 10, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MapCtx(context.Background(), 4, items, func(i, v int) (int, error) { return v * 10, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MapCtx diverged from Map at %d: %d vs %d", i, got[i], want[i])
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -231,6 +232,14 @@ type memoKey struct {
 // schedule + bind (Fig. 4 via internal/asic) per resource set, evaluate
 // the objective function and pick the best implementation.
 func Partition(p *cdfg.Program, prof *interp.Profile, base *Baseline, cfg Config) (*Decision, error) {
+	return PartitionCtx(context.Background(), p, prof, base, cfg)
+}
+
+// PartitionCtx is Partition with cancellation: ctx is threaded into the
+// cluster × resource-set grid fan-out, so a cancelled or deadline-expired
+// caller (e.g. a served request whose HTTP deadline passed) stops the
+// worker pool from picking up further grid points and returns ctx.Err().
+func PartitionCtx(ctx context.Context, p *cdfg.Program, prof *interp.Profile, base *Baseline, cfg Config) (*Decision, error) {
 	cfg.defaults()
 	if prof == nil || base == nil {
 		return nil, fmt.Errorf("partition: profile and baseline are required")
@@ -337,7 +346,7 @@ func Partition(p *cdfg.Program, prof *interp.Profile, base *Baseline, cfg Config
 		// Fan out. The memo is read-only during the fan-out (each round's
 		// grid visits a (region, set) pair at most once; fresh entries are
 		// merged after the barrier), so the workers share it lock-free.
-		results, _ := explore.Map(cfg.Workers, tasks, func(_ int, t gridTask) (gridResult, error) {
+		results, err := explore.MapCtx(ctx, cfg.Workers, tasks, func(_ int, t gridTask) (gridResult, error) {
 			rs := &cfg.ResourceSets[t.si]
 			br, ok := memo[memoKey{t.c.Region.ID, t.si}]
 			if !ok {
@@ -345,6 +354,9 @@ func Partition(p *cdfg.Program, prof *interp.Profile, base *Baseline, cfg Config
 			}
 			return gridResult{evaluate(&round, cfg, t.c, rs, br, t.prevHW, t.nextHW), br, !ok}, nil
 		})
+		if err != nil {
+			return nil, err // ctx cancellation; grid tasks themselves never error
+		}
 		// Merge in grid order: memo inserts and hit accounting, the
 		// first-round decision trail, and the minimum-OF selection — the
 		// exact order the serial loop used, so the Decision is identical.

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cachedBody is one finished response: the exact bytes (and status) the
+// computing request wrote, replayed verbatim on every hit so cached and
+// freshly computed answers are byte-identical by construction.
+type cachedBody struct {
+	status int
+	body   []byte
+}
+
+// lruCache is a bounded most-recently-used result cache keyed by the
+// canonical request hash.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recent; values are *lruEntry
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val *cachedBody
+}
+
+func newLRUCache(max int) *lruCache {
+	if max < 1 {
+		max = 1
+	}
+	return &lruCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached body and refreshes its recency.
+func (c *lruCache) get(key string) (*cachedBody, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts (or refreshes) a body and evicts the least recently used
+// entry past capacity. It reports how many entries were evicted.
+func (c *lruCache) add(key string, val *cachedBody) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return 0
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	evicted := 0
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*lruEntry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// len returns the current entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,171 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand" //lint:nondet seeded deterministically in tests
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lppart/internal/serve"
+)
+
+func fastRetries() func(*Config) {
+	return WithRetries(3, time.Millisecond, 4*time.Millisecond)
+}
+
+// The client rides out a server that sheds its first attempts with 429
+// (as lppartd does under load) and succeeds on a later one.
+func TestRetriesThroughShedding(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
+			return
+		}
+		w.Header().Set("X-Cache", "miss")
+		json.NewEncoder(w).Encode(&serve.PartitionResponse{App: "3d"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastRetries(), WithRand(rand.New(rand.NewSource(1))))
+	res, err := c.Partition(context.Background(), &serve.PartitionRequest{App: "3d"})
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	if res.Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3 (two sheds, then success)", res.Attempts)
+	}
+	if res.Value.App != "3d" || res.CacheHit {
+		t.Errorf("decoded %+v cacheHit=%v", res.Value, res.CacheHit)
+	}
+}
+
+// Retries exhausted: the final API error (not a transport wrapper)
+// reaches the caller.
+func TestRetriesExhausted(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"error": "draining"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastRetries(), WithRand(rand.New(rand.NewSource(1))))
+	_, err := c.Partition(context.Background(), &serve.PartitionRequest{App: "3d"})
+	ae, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("error = %T %v, want *APIError", err, err)
+	}
+	if ae.Status != http.StatusServiceUnavailable || ae.Body.Err != "draining" {
+		t.Errorf("APIError = %+v", ae)
+	}
+}
+
+// 4xx (other than 429) is the caller's fault: no retries.
+func TestNoRetryOnBadRequest(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]any{"error": "parse error", "line": 2, "col": 7})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastRetries())
+	_, err := c.Partition(context.Background(), &serve.PartitionRequest{Source: "bad"})
+	ae, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("error = %T %v, want *APIError", err, err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("%d attempts, want 1 (bad requests are not retryable)", calls.Load())
+	}
+	if ae.Body.Line != 2 || ae.Body.Col != 7 {
+		t.Errorf("positioned error lost: %+v", ae.Body)
+	}
+}
+
+// Against a real server, the typed client round-trips the partition
+// response and sees the second call served from the cache.
+func TestAgainstRealServer(t *testing.T) {
+	s := serve.New(serve.Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := New(ts.URL)
+	if !c.Healthy(context.Background()) {
+		t.Fatal("server not healthy")
+	}
+	apps, err := c.Apps(context.Background())
+	if err != nil || len(apps.Value.Apps) != 6 {
+		t.Fatalf("Apps: %v (%d apps)", err, len(apps.Value.Apps))
+	}
+	res1, err := c.Partition(context.Background(), &serve.PartitionRequest{App: "engine"})
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	res2, err := c.Partition(context.Background(), &serve.PartitionRequest{App: "engine"})
+	if err != nil {
+		t.Fatalf("Partition (2nd): %v", err)
+	}
+	if res1.CacheHit || !res2.CacheHit {
+		t.Errorf("CacheHit = %v then %v, want false then true", res1.CacheHit, res2.CacheHit)
+	}
+	if res1.Value.Trail != res2.Value.Trail || res1.Value.CacheSignature != res2.Value.CacheSignature {
+		t.Error("cached response decoded differently from the computed one")
+	}
+	sw, err := c.Sweep(context.Background(), &serve.SweepRequest{App: "engine", Sets: []int{64}, Assoc: []int{1}})
+	if err != nil || len(sw.Value.Geometries) != 1 {
+		t.Fatalf("Sweep: %v", err)
+	}
+}
+
+func TestBackoffHonorsRetryAfter(t *testing.T) {
+	c := New("http://x", WithRetries(3, time.Millisecond, 8*time.Millisecond),
+		WithRand(rand.New(rand.NewSource(1))))
+	for i := 0; i < 50; i++ {
+		if d := c.backoff(0, 20*time.Millisecond); d < 20*time.Millisecond {
+			t.Fatalf("backoff %v below the server's Retry-After floor", d)
+		}
+		if d := c.backoff(10, 0); d >= 8*time.Millisecond {
+			t.Fatalf("backoff %v above the configured cap", d)
+		}
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	for h, want := range map[string]time.Duration{
+		"":    0,
+		"1":   time.Second,
+		"0":   0,
+		"-3":  0,
+		"bad": 0,
+	} {
+		if got := parseRetryAfter(h); got != want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", h, got, want)
+		}
+	}
+}
+
+// Context cancellation cuts the retry loop short.
+func TestContextCancelDuringBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	c := New(ts.URL, WithRetries(5, time.Second, time.Second))
+	_, err := c.Partition(ctx, &serve.PartitionRequest{App: "3d"})
+	if err != context.DeadlineExceeded {
+		t.Errorf("error = %v, want context.DeadlineExceeded", err)
+	}
+}

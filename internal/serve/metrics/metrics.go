@@ -1,0 +1,268 @@
+// Package metrics is a dependency-free Prometheus-text-format metrics
+// registry for the serving layer: counters (optionally labeled), sampled
+// gauges and fixed-bucket histograms, rendered by WritePrometheus in the
+// text exposition format (version 0.0.4) that Prometheus, VictoriaMetrics
+// and friends scrape.
+//
+// The exposition is deterministic — families sorted by name, series
+// sorted by label value — so scrapes diff cleanly and tests can assert
+// on exact output. The instruments themselves are observability, not
+// results: they are the one part of the serving stack that is allowed to
+// vary run to run (request counts, latencies), which is why they live in
+// their own package instead of inside serve's result-producing path.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds the registered instruments of one process.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is every series sharing one metric name.
+type family struct {
+	name, help, typ string
+	series          map[string]instrument // keyed by rendered label string
+}
+
+// instrument is anything that can expose itself as one or more
+// `name{labels} value` lines.
+type instrument interface {
+	expose(w io.Writer, name, labels string)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register adds one series, creating its family on first use. Registering
+// the same (name, labels) twice returns the existing instrument so
+// callers can look instruments up idempotently.
+func (r *Registry) register(name, help, typ, labels string, mk func() instrument) instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]instrument)}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as both %s and %s", name, f.typ, typ))
+	}
+	if in, ok := f.series[labels]; ok {
+		return in
+	}
+	in := mk()
+	f.series[labels] = in
+	return in
+}
+
+// Labels renders label pairs ("k1", "v1", "k2", "v2", ...) in the given
+// order as a Prometheus label block, e.g. `{endpoint="partition"}`.
+// An odd pair count panics — it is a programming error, not input.
+func Labels(pairs ...string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic("metrics: odd label pair count")
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", pairs[i], pairs[i+1])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Counter is a monotonically increasing integer series.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n < 0 panics: counters are monotone).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("metrics: negative counter increment")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) expose(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, labels, c.v.Load())
+}
+
+// Counter registers (or looks up) a counter series. labels is a rendered
+// label block from Labels(), or "" for an unlabeled series.
+func (r *Registry) Counter(name, help, labels string) *Counter {
+	return r.register(name, help, "counter", labels, func() instrument { return &Counter{} }).(*Counter)
+}
+
+// gaugeFunc samples its value at scrape time.
+type gaugeFunc struct {
+	fn func() float64
+}
+
+func (g *gaugeFunc) expose(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(g.fn()))
+}
+
+// GaugeFunc registers a gauge whose value is sampled from fn at every
+// scrape — the natural shape for queue depth, in-flight workers and
+// cache occupancy, which already live in the serving stack's atomics.
+func (r *Registry) GaugeFunc(name, help, labels string, fn func() float64) {
+	r.register(name, help, "gauge", labels, func() instrument { return &gaugeFunc{fn: fn} })
+}
+
+// Histogram is a fixed-bucket cumulative histogram.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, strictly increasing; +Inf implicit
+	counts []int64   // len(bounds)+1, last is the +Inf bucket
+	sum    float64
+	n      int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Quantile returns an upper-bound estimate of quantile q (0..1): the
+// smallest bucket bound at which the cumulative count reaches q·n.
+// Samples beyond the last bound report +Inf; an empty histogram, 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+func (h *Histogram) expose(w io.Writer, name, labels string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(inner, formatFloat(b)), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(inner, "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.n)
+}
+
+func bucketLabels(inner, le string) string {
+	if inner == "" {
+		return fmt.Sprintf("{le=%q}", le)
+	}
+	return fmt.Sprintf("{%s,le=%q}", inner, le)
+}
+
+// Histogram registers a histogram series with the given strictly
+// increasing bucket upper bounds.
+func (r *Registry) Histogram(name, help, labels string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: %s bucket bounds not strictly increasing", name))
+		}
+	}
+	return r.register(name, help, "histogram", labels, func() instrument {
+		return &Histogram{bounds: append([]float64(nil), bounds...), counts: make([]int64, len(bounds)+1)}
+	}).(*Histogram)
+}
+
+// LatencyBuckets is a decade-spanning bucket ladder for request
+// latencies in seconds: 100µs to ~100s in 1-2.5-5 steps.
+func LatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+	}
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation, integers without an exponent.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every registered family in the text exposition
+// format, families sorted by name and series by label string.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families { //lint:ordered names are sorted before rendering
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		labels := make([]string, 0, len(f.series))
+		for l := range f.series { //lint:ordered label strings are sorted before rendering
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			f.series[l].expose(w, f.name, l)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndLabels(t *testing.T) {
+	r := NewRegistry()
+	hit := r.Counter("cache_ops_total", "cache operations", Labels("op", "hit"))
+	miss := r.Counter("cache_ops_total", "cache operations", Labels("op", "miss"))
+	hit.Add(3)
+	miss.Inc()
+	if r.Counter("cache_ops_total", "cache operations", Labels("op", "hit")) != hit {
+		t.Fatal("re-registering the same series returned a new counter")
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	want := `# HELP cache_ops_total cache operations
+# TYPE cache_ops_total counter
+cache_ops_total{op="hit"} 3
+cache_ops_total{op="miss"} 1
+`
+	if sb.String() != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestExpositionDeterministicOrder(t *testing.T) {
+	render := func() string {
+		r := NewRegistry()
+		// Register in one order...
+		r.Counter("zzz_total", "z", "")
+		r.GaugeFunc("aaa", "a", "", func() float64 { return 2.5 })
+		r.Counter("mid_total", "m", Labels("b", "2"))
+		r.Counter("mid_total", "m", Labels("b", "1"))
+		var sb strings.Builder
+		r.WritePrometheus(&sb)
+		return sb.String()
+	}
+	a := render()
+	for i := 0; i < 10; i++ {
+		if b := render(); b != a {
+			t.Fatalf("exposition order varies between runs:\n%s\nvs\n%s", a, b)
+		}
+	}
+	if !strings.Contains(a, "aaa 2.5") {
+		t.Errorf("gauge missing from exposition:\n%s", a)
+	}
+	if strings.Index(a, "aaa") > strings.Index(a, "zzz_total") {
+		t.Errorf("families not sorted by name:\n%s", a)
+	}
+	if strings.Index(a, `mid_total{b="1"}`) > strings.Index(a, `mid_total{b="2"}`) {
+		t.Errorf("series not sorted by labels:\n%s", a)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "latency", "", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.05, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, line := range []string{
+		`latency_seconds_bucket{le="0.1"} 2`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		`latency_seconds_sum 102.6`,
+		`latency_seconds_count 5`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+	if got := h.Quantile(0.5); got != 1 {
+		t.Errorf("p50 = %v, want bucket bound 1", got)
+	}
+	if got := h.Quantile(0.99); !math.IsInf(got, 1) {
+		t.Errorf("p99 = %v, want +Inf (sample beyond last bound)", got)
+	}
+	if (&Histogram{bounds: []float64{1}, counts: make([]int64, 2)}).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+}
+
+func TestHistogramBoundaryIsInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "h", "", []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive in Prometheus semantics
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `h_bucket{le="1"} 1`) {
+		t.Errorf("sample at bound not counted in its bucket:\n%s", sb.String())
+	}
+}
+
+func TestConcurrentUseIsRaceFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "ops", "")
+	h := r.Histogram("lat", "lat", "", LatencyBuckets())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i) / 1000)
+				if i%100 == 0 {
+					var sb strings.Builder
+					r.WritePrometheus(&sb)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}

@@ -1,0 +1,423 @@
+// Package serve is the partitioning-as-a-service layer: an HTTP/JSON API
+// over the repo's design flow. The paper's Fig. 1 loop is a pure
+// function from (application, F, N_max^c, GEQ budget, core count,
+// resource sets) to a partitioning decision, which makes it an ideal
+// cacheable service: every response body is a deterministic function of
+// the request, so identical requests produce byte-identical bodies
+// whether computed fresh, coalesced onto an in-flight computation, or
+// replayed from the LRU result cache.
+//
+// The stack, front to back:
+//
+//	handler → canonical request hash → LRU result cache
+//	        → singleflight (one computation per identical in-flight key)
+//	        → admission control (bounded worker pool + bounded queue,
+//	          429/503 shedding) → system.EvaluateCtx / trace sweep
+//
+// Endpoints: POST /v1/partition (full decision trail + Table 1 row,
+// optional server-side verification), POST /v1/sweep (cache-geometry
+// sweep via the single-pass stack-distance profiler), GET /v1/apps
+// (the built-in Table 1 applications), plus /healthz, /readyz and a
+// Prometheus-text /metrics.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"lppart/internal/apps"
+	"lppart/internal/behav"
+	"lppart/internal/cache"
+	"lppart/internal/cdfg"
+	"lppart/internal/codegen"
+	"lppart/internal/iss"
+	"lppart/internal/serve/metrics"
+	"lppart/internal/system"
+	"lppart/internal/tech"
+	"lppart/internal/trace"
+)
+
+// Config sizes one server.
+type Config struct {
+	// Workers bounds concurrent evaluations (default 4).
+	Workers int
+	// QueueDepth bounds how many admitted requests may wait for a
+	// worker before new arrivals are shed with 429 (default 64).
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (default 1024).
+	CacheEntries int
+	// Timeout is the per-request evaluation deadline (default 30s),
+	// propagated into the design flow via context.
+	Timeout time.Duration
+	// MaxSourceBytes caps served behavioral sources (default
+	// behav.DefaultMaxSourceBytes).
+	MaxSourceBytes int
+	// MaxInstrs bounds the ISS/interpreter runs of served evaluations,
+	// so an adversarial source cannot pin a worker for the full default
+	// simulation budget (default 50M).
+	MaxInstrs int64
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = behav.DefaultMaxSourceBytes
+	}
+	if c.MaxInstrs <= 0 {
+		c.MaxInstrs = 50_000_000
+	}
+}
+
+// maxBodyBytes caps request bodies; a request is at most a source plus
+// small knobs, so cap at the source cap plus slack.
+const bodySlackBytes = 64 << 10
+
+// Server is one lppartd instance.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	adm     *admission
+	cache   *lruCache
+	flights *flightGroup
+	reg     *metrics.Registry
+
+	// baseCtx parents every computation; abort cancels it.
+	baseCtx context.Context
+	abort   context.CancelFunc
+
+	// Instruments.
+	latency   map[string]*metrics.Histogram
+	outcomes  map[[2]string]*metrics.Counter
+	cacheHit  *metrics.Counter
+	cacheMiss *metrics.Counter
+	cacheEvic *metrics.Counter
+}
+
+// endpoints and outcomes instrumented up front, so the /metrics
+// exposition is complete (all-zero) from the first scrape.
+var endpointNames = []string{"partition", "sweep", "apps"}
+
+var outcomeNames = []string{
+	"ok", "cache_hit", "shed_queue", "shed_drain", "deadline",
+	"bad_request", "error",
+}
+
+// New returns a ready-to-serve server.
+func New(cfg Config) *Server {
+	cfg.defaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		adm:      newAdmission(cfg.Workers, cfg.QueueDepth),
+		cache:    newLRUCache(cfg.CacheEntries),
+		flights:  newFlightGroup(),
+		reg:      metrics.NewRegistry(),
+		baseCtx:  ctx,
+		abort:    cancel,
+		latency:  make(map[string]*metrics.Histogram),
+		outcomes: make(map[[2]string]*metrics.Counter),
+	}
+	for _, ep := range endpointNames {
+		s.latency[ep] = s.reg.Histogram("lppartd_request_seconds",
+			"request latency by endpoint", metrics.Labels("endpoint", ep),
+			metrics.LatencyBuckets())
+		for _, oc := range outcomeNames {
+			s.outcomes[[2]string{ep, oc}] = s.reg.Counter("lppartd_requests_total",
+				"requests by endpoint and outcome",
+				metrics.Labels("endpoint", ep, "outcome", oc))
+		}
+	}
+	s.cacheHit = s.reg.Counter("lppartd_cache_ops_total", "result cache operations", metrics.Labels("op", "hit"))
+	s.cacheMiss = s.reg.Counter("lppartd_cache_ops_total", "result cache operations", metrics.Labels("op", "miss"))
+	s.cacheEvic = s.reg.Counter("lppartd_cache_ops_total", "result cache operations", metrics.Labels("op", "evict"))
+	s.reg.GaugeFunc("lppartd_queue_depth", "requests waiting for a worker", "",
+		func() float64 { return float64(s.adm.queueLen()) })
+	s.reg.GaugeFunc("lppartd_workers", "worker pool size", "",
+		func() float64 { return float64(cfg.Workers) })
+	s.reg.GaugeFunc("lppartd_workers_busy", "workers currently evaluating", "",
+		func() float64 { return float64(s.adm.busyWorkers()) })
+	s.reg.GaugeFunc("lppartd_worker_utilization", "busy workers / pool size", "",
+		func() float64 { return float64(s.adm.busyWorkers()) / float64(cfg.Workers) })
+	s.reg.GaugeFunc("lppartd_cache_entries", "result cache occupancy", "",
+		func() float64 { return float64(s.cache.len()) })
+
+	s.mux.HandleFunc("POST /v1/partition", s.handlePartition)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/apps", s.handleApps)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.adm.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w)
+	})
+	return s
+}
+
+// Handler returns the HTTP handler (for http.Server or tests).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's registry (for tests and embedding).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Drain stops admitting new evaluations: /readyz flips to 503 and new
+// requests are shed with 503, while in-flight evaluations run to
+// completion. Call it on SIGTERM before http.Server.Shutdown so a load
+// balancer stops routing here while the tail drains.
+func (s *Server) Drain() { s.adm.drain() }
+
+// Abort cancels every in-flight evaluation (the hard phase of shutdown,
+// after the drain grace period).
+func (s *Server) Abort() { s.abort() }
+
+// observe records one finished request.
+func (s *Server) observe(endpoint, outcome string, start time.Time) {
+	if c, ok := s.outcomes[[2]string{endpoint, outcome}]; ok {
+		c.Inc()
+	}
+	s.latency[endpoint].Observe(time.Since(start).Seconds()) //lint:nondet latency metric only; never in a response body
+}
+
+// writeJSON writes a prepared body verbatim.
+func writeResult(w http.ResponseWriter, res *flightResult) {
+	w.Header().Set("Content-Type", "application/json")
+	if res.cacheHit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	if res.status == http.StatusTooManyRequests || res.status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// jsonBody marshals a response body the one canonical way (compact
+// encoding/json + trailing newline); both the cached and the computed
+// path serve exactly these bytes.
+func jsonBody(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic("serve: response not marshalable: " + err.Error())
+	}
+	return append(b, '\n')
+}
+
+// errResult renders an apiError as a flight result.
+func errResult(e *apiError) *flightResult {
+	return &flightResult{status: e.Status, body: jsonBody(e)}
+}
+
+// outcomeOf classifies a finished flight for the metrics.
+func outcomeOf(res *flightResult) string {
+	switch {
+	case res.cacheHit:
+		return "cache_hit"
+	case res.status == http.StatusOK:
+		return "ok"
+	case res.status == http.StatusTooManyRequests:
+		return "shed_queue"
+	case res.status == http.StatusServiceUnavailable:
+		return "shed_drain"
+	case res.status == http.StatusGatewayTimeout:
+		return "deadline"
+	case res.status >= 500:
+		return "error"
+	default:
+		return "bad_request"
+	}
+}
+
+// serveKey runs the cached → coalesced → computed ladder for one
+// canonical key and writes the result. compute runs under the server's
+// context; the caller's wait is bounded by its own request context plus
+// the configured timeout.
+func (s *Server) serveKey(w http.ResponseWriter, r *http.Request, endpoint, key string,
+	start time.Time, compute func(ctx context.Context) *flightResult) {
+	if cb, ok := s.cache.get(key); ok {
+		s.cacheHit.Inc()
+		res := &flightResult{status: cb.status, body: cb.body, cacheHit: true}
+		writeResult(w, res)
+		s.observe(endpoint, "cache_hit", start)
+		return
+	}
+	s.cacheMiss.Inc()
+	waitCtx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	res, err := s.flights.do(waitCtx, key, func() *flightResult {
+		// The computation is server-owned: bounded by the configured
+		// timeout, cancelled by Abort, independent of the waiters.
+		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.Timeout)
+		defer cancel()
+		if aerr := s.adm.acquire(ctx); aerr != nil {
+			switch aerr {
+			case errQueueFull:
+				return errResult(&apiError{Status: http.StatusTooManyRequests, Err: "queue full"})
+			case errDraining:
+				return errResult(&apiError{Status: http.StatusServiceUnavailable, Err: "draining"})
+			default: // deadline expired while queued
+				return errResult(&apiError{Status: http.StatusGatewayTimeout, Err: "deadline exceeded while queued"})
+			}
+		}
+		defer s.adm.release()
+		res := compute(ctx)
+		if res.status == http.StatusOK {
+			// Only successes warm the cache; sheds and failures must
+			// not mask a later, healthier attempt.
+			s.cacheEvic.Add(int64(s.cache.add(key, &cachedBody{status: res.status, body: res.body})))
+		}
+		return res
+	})
+	if err != nil {
+		res = errResult(&apiError{Status: http.StatusGatewayTimeout, Err: "request deadline exceeded"})
+	}
+	writeResult(w, res)
+	s.observe(endpoint, outcomeOf(res), start)
+}
+
+// decodeBody decodes a JSON request body with a hard size cap.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) *apiError {
+	r.Body = http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxSourceBytes+bodySlackBytes))
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("invalid request body: " + err.Error())
+	}
+	return nil
+}
+
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	start := time.Now() //lint:nondet latency metric only; never in a response body
+	var req PartitionRequest
+	if aerr := s.decodeBody(w, r, &req); aerr != nil {
+		writeResult(w, errResult(aerr))
+		s.observe("partition", "bad_request", start)
+		return
+	}
+	prog, sets, key, aerr := req.canonicalize(s.cfg.MaxSourceBytes)
+	if aerr != nil {
+		writeResult(w, errResult(aerr))
+		s.observe("partition", "bad_request", start)
+		return
+	}
+	s.serveKey(w, r, "partition", key, start, func(ctx context.Context) *flightResult {
+		cfg := system.Config{MaxInstrs: s.cfg.MaxInstrs}
+		cfg.Part.F = req.F
+		cfg.Part.MaxClusters = req.MaxClusters
+		cfg.Part.GEQBudget = req.GEQBudget
+		cfg.Part.MaxCores = req.MaxCores
+		cfg.Part.ResourceSets = sets
+		cfg.Part.Verify = req.Verify
+		ev, err := system.EvaluateCtx(ctx, prog, cfg)
+		if err != nil {
+			if ctx.Err() != nil {
+				return errResult(&apiError{Status: http.StatusGatewayTimeout, Err: "evaluation deadline exceeded"})
+			}
+			return errResult(&apiError{Status: http.StatusUnprocessableEntity, Err: err.Error()})
+		}
+		return &flightResult{status: http.StatusOK,
+			body: jsonBody(buildPartitionResponse(ev, req.Verify, key))}
+	})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	start := time.Now() //lint:nondet latency metric only; never in a response body
+	var req SweepRequest
+	if aerr := s.decodeBody(w, r, &req); aerr != nil {
+		writeResult(w, errResult(aerr))
+		s.observe("sweep", "bad_request", start)
+		return
+	}
+	prog, pairs, key, aerr := req.canonicalize(s.cfg.MaxSourceBytes)
+	if aerr != nil {
+		writeResult(w, errResult(aerr))
+		s.observe("sweep", "bad_request", start)
+		return
+	}
+	s.serveKey(w, r, "sweep", key, start, func(ctx context.Context) *flightResult {
+		res, aerr := s.computeSweep(ctx, prog, &req, pairs, key)
+		if aerr != nil {
+			return errResult(aerr)
+		}
+		return res
+	})
+}
+
+// computeSweep records the application's reference trace and runs the
+// single-pass stack-distance sweep over the geometry grid, serially (one
+// profiler pass per distinct line size): request-level parallelism
+// belongs to the worker pool, not to the inside of one slot.
+func (s *Server) computeSweep(ctx context.Context, prog *behav.Program, req *SweepRequest,
+	pairs [][2]cache.Config, key string) (*flightResult, *apiError) {
+	ir, err := cdfg.Build(prog)
+	if err != nil {
+		return nil, &apiError{Status: http.StatusUnprocessableEntity, Err: err.Error()}
+	}
+	if ctx.Err() != nil {
+		return nil, &apiError{Status: http.StatusGatewayTimeout, Err: "sweep deadline exceeded"}
+	}
+	mp, _, err := codegen.Compile(ir, codegen.Options{})
+	if err != nil {
+		return nil, &apiError{Status: http.StatusUnprocessableEntity, Err: err.Error()}
+	}
+	rec := &trace.Recorder{}
+	if _, err := iss.Run(mp, iss.Options{Mem: rec, MaxInstrs: s.cfg.MaxInstrs}); err != nil {
+		return nil, &apiError{Status: http.StatusUnprocessableEntity, Err: err.Error()}
+	}
+	if ctx.Err() != nil {
+		return nil, &apiError{Status: http.StatusGatewayTimeout, Err: "sweep deadline exceeded"}
+	}
+	reps, err := rec.Trace.Sweep(pairs, tech.Default())
+	if err != nil {
+		return nil, &apiError{Status: http.StatusUnprocessableEntity, Err: err.Error()}
+	}
+	name := req.App
+	if name == "" {
+		name = ir.Name
+	}
+	return &flightResult{status: http.StatusOK,
+		body: jsonBody(buildSweepResponse(name, req.ISweep, &rec.Trace, pairs, reps, key))}, nil
+}
+
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+	start := time.Now() //lint:nondet latency metric only; never in a response body
+	var resp AppsResponse
+	for _, a := range apps.All() {
+		resp.Apps = append(resp.Apps, AppBody{
+			Name:            a.Name,
+			Description:     a.Description,
+			PaperSavings:    a.PaperSavings,
+			PaperTimeChange: a.PaperTimeChange,
+			SourceBytes:     len(a.Source),
+		})
+	}
+	writeResult(w, &flightResult{status: http.StatusOK, body: jsonBody(&resp)})
+	s.observe("apps", "ok", start)
+}
+

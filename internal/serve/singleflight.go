@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates identical in-flight requests: while one
+// computation for a key is running, further arrivals for the same key
+// wait for its result instead of burning a second worker slot on the
+// same pure function. This is a stdlib-only sibling of
+// golang.org/x/sync/singleflight with one deliberate difference: the
+// computation runs in its own goroutine under the *server's* context
+// (base context + per-request timeout), never the caller's, so a waiter
+// that gives up early cannot kill the flight for everyone else — the
+// flight runs to completion and warms the cache.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when res is set
+	res  *flightResult
+}
+
+// flightResult is what a flight hands every waiter: a finished response
+// body (success or API error) ready to replay.
+type flightResult struct {
+	status   int
+	body     []byte
+	cacheHit bool // served from the result cache, for the X-Cache header
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do returns key's result, starting fn in a new goroutine if no flight is
+// active. The wait — not the computation — is bounded by ctx; a context
+// error means this caller's deadline passed while the flight was still
+// running.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() *flightResult) (*flightResult, error) {
+	g.mu.Lock()
+	c, ok := g.calls[key]
+	if !ok {
+		c = &flightCall{done: make(chan struct{})}
+		g.calls[key] = c
+		go func() {
+			res := fn()
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			c.res = res
+			close(c.done)
+		}()
+	}
+	g.mu.Unlock()
+	select {
+	case <-c.done:
+		return c.res, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

@@ -9,6 +9,7 @@
 package system
 
 import (
+	"context"
 	"fmt"
 
 	"lppart/internal/asic"
@@ -188,8 +189,17 @@ type isaProgram struct {
 // so concurrent evaluations share only read-only state (the technology
 // library and resource sets of cfg, and the source ASTs).
 func EvaluateAll(srcs []*behav.Program, cfg Config, workers int) ([]*Evaluation, error) {
-	return explore.Map(workers, srcs, func(_ int, src *behav.Program) (*Evaluation, error) {
-		ev, err := Evaluate(src, cfg)
+	return EvaluateAllCtx(context.Background(), srcs, cfg, workers)
+}
+
+// EvaluateAllCtx is EvaluateAll with cancellation: a cancelled or
+// deadline-expired ctx stops the pool from starting new evaluations and
+// aborts in-progress ones at their next stage boundary, returning
+// ctx.Err(). Served requests use this so a timed-out caller stops
+// burning workers mid-grid.
+func EvaluateAllCtx(ctx context.Context, srcs []*behav.Program, cfg Config, workers int) ([]*Evaluation, error) {
+	return explore.MapCtx(ctx, workers, srcs, func(_ int, src *behav.Program) (*Evaluation, error) {
+		ev, err := EvaluateCtx(ctx, src, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", src.Name, err)
 		}
@@ -203,21 +213,38 @@ func EvaluateAll(srcs []*behav.Program, cfg Config, workers int) ([]*Evaluation,
 // Evaluate is safe for concurrent use: it mutates nothing reachable from
 // its arguments.
 func Evaluate(src *behav.Program, cfg Config) (*Evaluation, error) {
+	return EvaluateCtx(context.Background(), src, cfg)
+}
+
+// EvaluateCtx is Evaluate with cancellation (see EvaluateAllCtx).
+func EvaluateCtx(ctx context.Context, src *behav.Program, cfg Config) (*Evaluation, error) {
 	cfg.defaults()
 	ir, err := cdfg.Build(src)
 	if err != nil {
 		return nil, fmt.Errorf("system: %w", err)
 	}
-	return EvaluateIR(ir, cfg)
+	return EvaluateIRCtx(ctx, ir, cfg)
 }
 
 // EvaluateIR is Evaluate starting from already-built IR.
 func EvaluateIR(ir *cdfg.Program, cfg Config) (*Evaluation, error) {
+	return EvaluateIRCtx(context.Background(), ir, cfg)
+}
+
+// EvaluateIRCtx is EvaluateIR with cancellation: ctx is checked at every
+// stage boundary of the Fig. 5 flow (profile → initial design →
+// partitioning → partitioned design) and threaded into the partitioner's
+// cluster × resource-set fan-out, so a cancelled evaluation stops at the
+// next boundary instead of running the flow to completion.
+func EvaluateIRCtx(ctx context.Context, ir *cdfg.Program, cfg Config) (*Evaluation, error) {
 	cfg.defaults()
 	lib := cfg.Part.Lib
 	micro := &lib.Micro
 
 	// Profiling run (Fig. 5 "Trace Tool" / profiler).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	profRes, err := interp.Run(ir, interp.Options{CollectProfile: true,
 		MaxSteps: cfg.MaxInstrs})
 	if err != nil {
@@ -226,6 +253,9 @@ func EvaluateIR(ir *cdfg.Program, cfg Config) (*Evaluation, error) {
 	ev := &Evaluation{App: ir.Name, IR: ir, Profile: profRes.Prof}
 
 	// Initial (all-software) design.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	full, fullLay, err := codegen.Compile(ir, codegen.Options{
 		MemWords: cfg.MemWords, StackWords: cfg.StackWords})
 	if err != nil {
@@ -247,8 +277,11 @@ func EvaluateIR(ir *cdfg.Program, cfg Config) (*Evaluation, error) {
 		Micro:              micro,
 		ICacheAccessEnergy: cfg.ICache.AccessEnergy(lib.Cache),
 	}
-	dec, err := partition.Partition(ir, profRes.Prof, base, cfg.Part)
+	dec, err := partition.PartitionCtx(ctx, ir, profRes.Prof, base, cfg.Part)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("system: partition: %w", err)
 	}
 	ev.Decision = dec
@@ -258,6 +291,9 @@ func EvaluateIR(ir *cdfg.Program, cfg Config) (*Evaluation, error) {
 
 	// Partitioned design: recompile with the chosen cluster(s) excluded,
 	// build one ASIC core per cluster, co-simulate.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	exclude := make(map[int]int, len(dec.Choices))
 	for i, ch := range dec.Choices {
 		exclude[ch.Region.ID] = i

@@ -1,9 +1,11 @@
 package system
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"lppart/internal/apps"
 	"lppart/internal/behav"
@@ -402,5 +404,31 @@ func TestPartitionConfigF(t *testing.T) {
 	}
 	if len(ev.Decision.Trail()) == 0 {
 		t.Error("empty decision trail")
+	}
+}
+
+// A cancelled context must abort EvaluateAllCtx with ctx.Err() instead of
+// running the remaining evaluations to completion.
+func TestEvaluateAllCtxCancelled(t *testing.T) {
+	var srcs []*behav.Program
+	for _, a := range apps.All() {
+		p, err := a.Parse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs = append(srcs, p)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EvaluateAllCtx(ctx, srcs, Config{}, 2); err != context.Canceled {
+		t.Fatalf("EvaluateAllCtx under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+
+	// Deadline expiry mid-run surfaces as DeadlineExceeded, not a partial
+	// result: use a deadline far too short for even one evaluation.
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer dcancel()
+	if _, err := EvaluateAllCtx(dctx, srcs, Config{}, 2); err != context.DeadlineExceeded {
+		t.Fatalf("EvaluateAllCtx past deadline: err = %v, want context.DeadlineExceeded", err)
 	}
 }
