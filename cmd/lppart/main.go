@@ -9,16 +9,20 @@
 //	lppart -src=prog.bv         # a behavioral source file
 //	lppart -app=digs -F=2 -maxclusters=3 -geq=16000
 //	lppart -app=digs -listing   # also dump the compiled µP program
+//	lppart -app=digs -frontier  # branch-and-bound Pareto frontier
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"lppart/internal/apps"
 	"lppart/internal/behav"
+	"lppart/internal/cdfg"
 	"lppart/internal/codegen"
+	"lppart/internal/dse"
 	"lppart/internal/report"
 	"lppart/internal/system"
 	"lppart/internal/tech"
@@ -35,6 +39,9 @@ func main() {
 		listing     = flag.Bool("listing", false, "dump the compiled µP program")
 		verilog     = flag.Bool("verilog", false, "emit the chosen ASIC core(s) as structural Verilog")
 		verify      = flag.Bool("verify", false, "run the pipeline-stage IR verifiers and the decision audit alongside partitioning")
+		frontier    = flag.Bool("frontier", false, "explore the design space and print the Pareto frontier instead of the greedy decision")
+		maxHW       = flag.Int("maxhw", 0, "frontier mode: max clusters moved to hardware per configuration (0 = default)")
+		jflag       = flag.Int("j", 0, "frontier mode: concurrent geometry searches (0 = one per CPU; output is identical at any -j)")
 	)
 	flag.Parse()
 
@@ -69,6 +76,21 @@ func main() {
 	cfg.Part.GEQBudget = *geqBudget
 	cfg.Part.MaxCores = *cores
 	cfg.Part.Verify = *verify
+
+	if *frontier {
+		ir, berr := cdfg.Build(src)
+		if berr != nil {
+			fatal(berr)
+		}
+		f, ferr := dse.Explore(context.Background(), ir,
+			dse.Config{Sys: cfg, MaxHW: *maxHW, Workers: *jflag})
+		if ferr != nil {
+			fatal(ferr)
+		}
+		fmt.Print(report.Pareto(f))
+		return
+	}
+
 	ev, err := system.Evaluate(src, cfg)
 	if err != nil {
 		fatal(err)

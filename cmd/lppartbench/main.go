@@ -31,11 +31,23 @@ import (
 	"lppart/internal/serve/client"
 )
 
+// benchConfig echoes the benchmark's configuration into the report, so
+// a BENCH_serve.json is self-describing: the numbers can be reproduced
+// without recovering the command line that produced them.
+type benchConfig struct {
+	Clients      int     `json:"clients"`
+	DurationS    float64 `json:"duration_s"`
+	Workers      int     `json:"workers"`
+	QueueDepth   int     `json:"queue_depth"`
+	CacheEntries int     `json:"cache_entries"`
+}
+
 // result is the benchmark report written to -out.
 type result struct {
-	URL        string  `json:"url"`
-	Clients    int     `json:"clients"`
-	DurationS  float64 `json:"duration_s"`
+	URL        string      `json:"url"`
+	Config     benchConfig `json:"config"`
+	Clients    int         `json:"clients"`
+	DurationS  float64     `json:"duration_s"`
 	Requests   int64   `json:"requests"`
 	Errors     int64   `json:"errors"`
 	Retries    int64   `json:"retries"`
@@ -57,11 +69,19 @@ func main() {
 		duration = flag.Duration("duration", 10*time.Second, "measured run length")
 		out      = flag.String("out", "BENCH_serve.json", "report path (- for stdout only)")
 		workers  = flag.Int("workers", 4, "spawned server: worker pool size")
+		queue    = flag.Int("queue", 64, "spawned server: admission queue depth")
 		entries  = flag.Int("cache", 1024, "spawned server: result cache entries")
 	)
 	flag.Parse()
 
 	res := result{Clients: *clients, SpawnedSrv: *url == ""}
+	res.Config = benchConfig{
+		Clients:      *clients,
+		DurationS:    duration.Seconds(),
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *entries,
+	}
 	if *url == "" {
 		// Self-hosted: a real HTTP server on an ephemeral loopback port,
 		// so the benchmark exercises the same network stack as production.
@@ -69,7 +89,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		srv := serve.New(serve.Config{Workers: *workers, CacheEntries: *entries})
+		srv := serve.New(serve.Config{Workers: *workers, QueueDepth: *queue, CacheEntries: *entries})
 		hs := &http.Server{Handler: srv.Handler()}
 		go hs.Serve(ln)
 		defer hs.Close()

@@ -10,16 +10,19 @@
 //	report -hw                # hardware overhead per application
 //	report -summary           # one-line summary per application
 //	report -app=digs -trail   # decision trail of one application
+//	report -frontier          # branch-and-bound Pareto frontier per app
 //	report -ablation=F        # ablation A1: objective factor sweep
 //	report -ablation=preselect|rs|weighted|gated|cache
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"lppart/internal/apps"
+	"lppart/internal/dse"
 	"lppart/internal/explore"
 	"lppart/internal/report"
 	"lppart/internal/system"
@@ -33,12 +36,13 @@ func main() {
 		summary  = flag.Bool("summary", false, "render one-line summary")
 		trail    = flag.Bool("trail", false, "print the partitioning decision trail")
 		appName  = flag.String("app", "", "restrict to one application")
+		frontier = flag.Bool("frontier", false, "render the design-space Pareto frontier per application")
 		ablation = flag.String("ablation", "", "run an ablation: F, preselect, rs, weighted, gated, cache")
 		jobs     = flag.Int("j", 0, "concurrent application evaluations (0 = one per CPU, 1 = serial)")
 		verify   = flag.Bool("verify", false, "run the pipeline-stage IR verifiers and the decision audit alongside every evaluation")
 	)
 	flag.Parse()
-	if !*table1 && !*fig6 && !*hw && !*summary && !*trail && *ablation == "" {
+	if !*table1 && !*fig6 && !*hw && !*summary && !*trail && !*frontier && *ablation == "" {
 		*table1 = true
 		*fig6 = true
 		*hw = true
@@ -56,6 +60,14 @@ func main() {
 
 	if *ablation != "" {
 		if err := runAblation(*ablation, list, *jobs, *verify); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *frontier {
+		if err := runFrontier(list, *jobs, *verify); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -102,4 +114,46 @@ func evaluate(a apps.App, cfg system.Config) (*system.Evaluation, error) {
 		return nil, err
 	}
 	return system.Evaluate(src, cfg)
+}
+
+// runFrontier renders the branch-and-bound Pareto frontier per
+// application and answers the paper question: does the greedy Fig. 1
+// choice (the Table 1 point) lie on the frontier, or is it dominated
+// once cache geometries and multi-cluster configurations compete?
+func runFrontier(list []apps.App, jobs int, verify bool) error {
+	for _, a := range list {
+		ir, err := a.Build()
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.Name, err)
+		}
+		cfg := dse.Config{Workers: jobs}
+		cfg.Sys.Part.Verify = verify
+		f, err := dse.Explore(context.Background(), ir, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.Name, err)
+		}
+		fmt.Print(report.Pareto(f))
+
+		// Locate the greedy choice among the frontier points.
+		ev, err := evaluate(a, system.Config{})
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.Name, err)
+		}
+		label, set, desc := "", "", "all software"
+		if ch := ev.Decision.Chosen; ch != nil {
+			label, set = ch.Region.Label, ch.RS.Name
+			desc = label + " on " + set
+		}
+		switch {
+		case report.OnFrontier(f, label, set) >= 0:
+			fmt.Printf("Table 1 choice (%s): on the frontier, point %d\n\n",
+				desc, report.OnFrontier(f, label, set))
+		case report.FindPick(f, label, set) >= 0:
+			fmt.Printf("Table 1 choice (%s): dominated on the reference geometry, but survives with adapted caches (point %d)\n\n",
+				desc, report.FindPick(f, label, set))
+		default:
+			fmt.Printf("Table 1 choice (%s): NOT on the frontier\n\n", desc)
+		}
+	}
+	return nil
 }

@@ -35,6 +35,8 @@ var gated = map[string]bool{
 	"serve":     true,
 	"client":    true,
 	"metrics":   true,
+	"dse":       true,
+	"jobs":      true,
 }
 
 // Analyzer is the detrange pass.
@@ -42,7 +44,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "detrange",
 	Doc: "flag nondeterministic map iteration in result-producing packages " +
 		"(partition, sched, system, report, explore, asic, stackdist, " +
-		"serve, client, metrics); " +
+		"serve, client, metrics, dse, jobs); " +
 		"iterate sorted keys or acknowledge order-insensitive loops with //lint:ordered",
 	Run: run,
 }

@@ -1,0 +1,613 @@
+// Package dse explores the joint hardware/software design space the
+// paper's Fig. 1 loop walks only greedily: which clusters move to ASIC
+// cores, on which resource sets, combined with which cache geometries
+// ("those other cores have to be adapted efficiently (e.g. size of
+// memory, size of caches, cache policy etc.) according to the particular
+// hw/sw partitioning chosen", §1). Instead of a single minimum-OF
+// choice, Explore returns the Pareto frontier over {total energy,
+// execution cycles, GEQ hardware effort}.
+//
+// The search is a deterministic branch-and-bound: per cache geometry, a
+// serial depth-first enumeration of cluster subsets (in Fig. 3
+// pre-selection rank order, region-overlap exclusion applied) times
+// per-cluster resource sets, pruned with an admissible lower bound built
+// from the Fig. 3 bus-traffic score — a cluster's energy delta can never
+// be better than -(Score + removed-fetches·i-cache access energy),
+// because its ASIC estimate always pays at least the Fig. 3 bus
+// transfers, and its cycle delta never better than -(its µP cycles).
+// Subtrees whose bound is weakly dominated by an already-found point
+// cannot contribute to the frontier and are cut.
+//
+// Determinism is by construction, like everywhere else in this repo:
+// geometries fan out on an explore.MapCtx pool and each geometry's
+// search is serial, so the frontier is byte-identical at any worker
+// count. All geometries share one partition.Evaluator, whose
+// schedule/binding memo makes every (cluster, resource set) pair pay the
+// expensive Fig. 1 lines 8-10 at most once across the whole exploration;
+// the cache geometries themselves are priced from ONE recorded trace via
+// the single-pass stack-distance sweep (trace.Sweep), not by
+// re-simulating the program per geometry.
+package dse
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"lppart/internal/cache"
+	"lppart/internal/cdfg"
+	"lppart/internal/explore"
+	"lppart/internal/partition"
+	"lppart/internal/system"
+	"lppart/internal/tech"
+	"lppart/internal/units"
+)
+
+// Config parameterizes one exploration.
+type Config struct {
+	// Sys carries the measurement and partitioning knobs (the same
+	// configuration system.Evaluate takes); Sys.ICache/DCache anchor the
+	// measured baseline the per-geometry baselines are derived from.
+	Sys system.Config
+	// Geometries are the (i-cache, d-cache) pairs to explore; nil selects
+	// DefaultGeometries(). Data caches are forced to write-back.
+	Geometries [][2]cache.Config
+	// MaxHW bounds how many clusters one configuration may move to
+	// hardware (the N of Eq. 3). 0 means 2.
+	MaxHW int
+	// Workers bounds the geometry fan-out (<= 0: one per CPU). The
+	// frontier is byte-identical at any worker count.
+	Workers int
+	// DisableBound turns branch-and-bound pruning off (exhaustive
+	// enumeration) — the differential-testing oracle for the bound's
+	// admissibility and the denominator of the pruning-rate measurements.
+	DisableBound bool
+	// OnProgress, when set, is called after each geometry finishes with
+	// (completed, total) counts. It may be called concurrently.
+	OnProgress func(done, total int)
+}
+
+// DefaultGeometries returns the explored cache grid: the reference
+// geometry plus halved i-cache, halved d-cache, and both halved — the
+// four corners of the "can a smaller memory subsystem ride on the
+// partition's cache-relief" question.
+func DefaultGeometries() [][2]cache.Config {
+	i, d := cache.DefaultICache(), cache.DefaultDCache()
+	ih, dh := i, d
+	ih.Sets /= 2
+	dh.Sets /= 2
+	return [][2]cache.Config{{i, d}, {ih, d}, {i, dh}, {ih, dh}}
+}
+
+// Pick is one cluster→hardware assignment inside a Point.
+type Pick struct {
+	Region   int     `json:"region"` // cdfg region ID
+	Label    string  `json:"label"`
+	Set      string  `json:"set"` // resource-set name
+	SetIndex int     `json:"set_index"`
+	GEQ      int     `json:"geq"`
+	OF       float64 `json:"of"` // the pick's own Fig. 1 objective value
+}
+
+// Point is one non-dominated configuration of the design space.
+type Point struct {
+	ID       int          `json:"id"`
+	ICache   cache.Config `json:"icache"`
+	DCache   cache.Config `json:"dcache"`
+	Clusters []Pick       `json:"clusters,omitempty"` // empty: all-software
+	// The objectives, minimized jointly.
+	Energy units.Energy `json:"energy"`
+	Cycles int64        `json:"cycles"`
+	GEQ    int          `json:"geq"`
+	// Ratios against the point's own geometry baseline (all-software on
+	// the same caches): EnergyRatio < 1 means the partition saves energy.
+	EnergyRatio float64 `json:"energy_ratio"`
+	CycleRatio  float64 `json:"cycle_ratio"`
+
+	// Decision is the full Fig. 1 decision trail reconstructing this
+	// point, auditable with partition.AuditDecision against Baseline.
+	// Both are excluded from JSON (the trail is large); API consumers
+	// get the Picks.
+	Decision *partition.Decision `json:"-"`
+	Baseline *partition.Baseline `json:"-"`
+
+	key string // deterministic tie-break: geometry + picks
+}
+
+// Stats counts the search's work. Configs, Pruned and PairEvals are
+// deterministic at any worker count (each geometry's search is serial);
+// the Memo hit/miss split is NOT — concurrent geometries race to compute
+// a pair first — so only Adds/Size from it appear in rendered output.
+type Stats struct {
+	Geometries int   `json:"geometries"`
+	Configs    int64 `json:"configs"`    // configurations evaluated (search-tree nodes)
+	Pruned     int64 `json:"pruned"`     // subtrees cut by the lower bound
+	PairEvals  int64 `json:"pair_evals"` // objective evaluations of (cluster, set) pairs
+	MemoAdds   int64 `json:"memo_adds"`  // distinct schedule/bind computations
+	MemoSize   int   `json:"memo_size"`
+
+	// Memo is the shared schedule/binding memo snapshot (hit/miss split
+	// is scheduling-dependent; see above).
+	Memo explore.MemoStats `json:"-"`
+}
+
+// Frontier is the outcome of one exploration: the non-dominated points
+// in ascending-energy order, each carrying its auditable decision trail.
+type Frontier struct {
+	App    string  `json:"app"`
+	Points []Point `json:"points"`
+	Stats  Stats   `json:"stats"`
+}
+
+// Explore measures the application once (profile, initial design,
+// reference trace), prices every cache geometry from the single recorded
+// trace, then runs the branch-and-bound subset search per geometry and
+// merges the per-geometry frontiers into one Pareto set.
+func Explore(ctx context.Context, ir *cdfg.Program, cfg Config) (*Frontier, error) {
+	if cfg.MaxHW <= 0 {
+		cfg.MaxHW = 2
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = explore.DefaultWorkers()
+	}
+	geoms := make([][2]cache.Config, 0, len(cfg.Geometries))
+	if cfg.Geometries == nil {
+		geoms = DefaultGeometries()
+	} else {
+		geoms = append(geoms, cfg.Geometries...)
+	}
+	if len(geoms) == 0 {
+		return nil, fmt.Errorf("dse: no geometries to explore")
+	}
+	for gi := range geoms {
+		geoms[gi][1].WriteBack = true
+		if err := geoms[gi][0].Validate(); err != nil {
+			return nil, fmt.Errorf("dse: geometry %d i-cache: %w", gi, err)
+		}
+		if err := geoms[gi][1].Validate(); err != nil {
+			return nil, fmt.Errorf("dse: geometry %d d-cache: %w", gi, err)
+		}
+	}
+
+	// Measure once: profiling run, initial all-software design on the
+	// anchor geometry, and the geometry-independent reference trace.
+	ev, base, err := system.MeasureInitialCtx(ctx, ir, cfg.Sys)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := system.RecordTraceCtx(ctx, ir, cfg.Sys)
+	if err != nil {
+		return nil, err
+	}
+	lib := cfg.Sys.Part.Lib
+	if lib == nil {
+		lib = tech.Default()
+	}
+	anchorI, anchorD := cfg.Sys.ICache, cfg.Sys.DCache
+	if anchorI.Sets == 0 {
+		anchorI = cache.DefaultICache()
+	}
+	if anchorD.Sets == 0 {
+		anchorD = cache.DefaultDCache()
+	}
+	pairs := append([][2]cache.Config{{anchorI, anchorD}}, geoms...)
+	reps, err := tr.SweepParallel(pairs, lib, cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("dse: geometry sweep: %w", err)
+	}
+	anchor, reps := reps[0], reps[1:]
+
+	// One evaluator — one schedule/binding memo — for every geometry and
+	// subtree.
+	pe, err := partition.NewEvaluator(ir, ev.Profile, cfg.Sys.Part)
+	if err != nil {
+		return nil, err
+	}
+	pcfg := pe.Config()
+
+	total := len(geoms)
+	var done atomic.Int64
+	results, err := explore.MapCtx(ctx, cfg.Workers, geoms, func(gi int, g [2]cache.Config) (*geoResult, error) {
+		// The geometry's all-software baseline, derived from the anchor
+		// measurement: swap the memory subsystem's energy for the swept
+		// one, and shift cycles by the stall delta between geometries.
+		gbase := &partition.Baseline{
+			MuPEnergy:          ev.Initial.EMuP,
+			RestEnergy:         reps[gi].Total(),
+			TotalEnergy:        ev.Initial.EMuP + reps[gi].Total(),
+			TotalCycles:        ev.Initial.TotalCycles() - anchor.Stalls + reps[gi].Stalls,
+			Regions:            base.Regions,
+			Micro:              base.Micro,
+			ICacheAccessEnergy: g[0].AccessEnergy(lib.Cache),
+		}
+		if gbase.TotalCycles < 1 {
+			gbase.TotalCycles = 1
+		}
+		res, err := searchGeometry(ctx, pe, gbase, g, &cfg)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.OnProgress != nil {
+			cfg.OnProgress(int(done.Add(1)), total)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	st := Stats{Geometries: len(geoms)}
+	var all []Point
+	for _, r := range results {
+		all = append(all, r.points...)
+		st.Configs += r.configs
+		st.Pruned += r.pruned
+		st.PairEvals += r.pairEvals
+	}
+	pts := reduce(all)
+	for i := range pts {
+		pts[i].ID = i
+	}
+	ms := pe.MemoStats()
+	st.MemoAdds, st.MemoSize, st.Memo = ms.Adds, ms.Size, ms
+
+	f := &Frontier{App: ir.Name, Points: pts, Stats: st}
+	if pcfg.Verify {
+		if err := f.Audit(pcfg); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Audit runs partition.AuditDecision on every point's decision trail
+// against its own geometry baseline.
+func (f *Frontier) Audit(pcfg partition.Config) error {
+	for i := range f.Points {
+		p := &f.Points[i]
+		if p.Decision == nil || p.Baseline == nil {
+			return fmt.Errorf("dse: point %d has no decision trail", p.ID)
+		}
+		if err := partition.AuditDecision(p.Decision, p.Baseline, pcfg); err != nil {
+			return fmt.Errorf("dse: point %d: %w", p.ID, err)
+		}
+	}
+	return nil
+}
+
+// geoResult is one geometry's locally-reduced frontier plus its search
+// counters.
+type geoResult struct {
+	points                     []Point
+	configs, pruned, pairEvals int64
+}
+
+// searchGeometry runs the serial branch-and-bound over (cluster subset ×
+// per-cluster resource set) for one cache geometry.
+func searchGeometry(ctx context.Context, pe *partition.Evaluator, gbase *partition.Baseline,
+	g [2]cache.Config, cfg *Config) (*geoResult, error) {
+	all, pool := pe.Candidates(gbase)
+	pcfg := pe.Config()
+	ns := len(pcfg.ResourceSets)
+	res := &geoResult{}
+
+	mupE, restE := float64(gbase.MuPEnergy), float64(gbase.RestEnergy)
+	t0 := gbase.TotalCycles
+	iAcc := float64(gbase.ICacheAccessEnergy)
+
+	// Evaluate the (cluster, resource set) grid against this geometry's
+	// baseline. The evaluator memoizes the schedule/binding across
+	// geometries, so only the first geometry pays Fig. 1 lines 8-10 here;
+	// every other geometry recomputes just the objective arithmetic.
+	// Branching is restricted to picks that pass the Fig. 1 acceptance
+	// test (eligible AND OF below the all-software objective): that keeps
+	// every point's decision trail auditable — AuditDecision requires
+	// Chosen.OF < F — and matches what the greedy loop could ever select.
+	evals := make([][]*partition.SetEval, len(pool))
+	viable := make([][]int, len(pool)) // set indices passing the acceptance test
+	for j := range pool {
+		evals[j] = make([]*partition.SetEval, ns)
+		for si := 0; si < ns; si++ {
+			e, err := pe.Eval(gbase, pool[j], si, false, false)
+			if err != nil {
+				return nil, err
+			}
+			evals[j][si] = e
+			res.pairEvals++
+			if e.Eligible && e.OF < pcfg.F {
+				viable[j] = append(viable[j], si)
+			}
+		}
+	}
+
+	// Admissible per-cluster bounds on what adding cluster j can do to
+	// each objective, starting from the Fig. 3 pre-selection metric and
+	// tightened by the computed evaluations:
+	//   ΔE_j >= -(Score_j + instrs_j · i-access energy): the ASIC estimate
+	//     pays at least the Fig. 3 bus transfers (E_ASIC >= Inv·E_Trans),
+	//     so the best case is saving the cluster's full µP energy and its
+	//     i-cache fetches while paying only those transfers — exactly the
+	//     pre-selection score plus the fetch term. The minimum over the
+	//     cluster's viable evaluations is a second, usually tighter,
+	//     admissible bound (a leaf must use one of them); take the min.
+	//   ΔC_j: bounded by the minimum viable cycle delta (and by -Cycles_j,
+	//     which that minimum already respects since hardware time >= 0).
+	//   ΔGEQ_j: at least the cheapest viable resource set's cells — GEQ
+	//     only ever grows, and every extension adds >= 1 cluster.
+	// Suffix aggregates over the rank-ordered pool then bound, for any
+	// subtree rooted at index i, the most any extension could still
+	// improve energy and cycles, and the least hardware it must add.
+	potE := make([]float64, len(pool))
+	potC := make([]int64, len(pool))
+	minGEQ := make([]int, len(pool))
+	for j, c := range pool {
+		scorePot := c.Score + float64(c.MuP.Instrs)*iAcc
+		bestE, bestC := 0.0, int64(0)
+		minGEQ[j] = 0
+		for k, si := range viable[j] {
+			e := evals[j][si]
+			dE := float64(e.EASIC) - float64(e.EMuPSaved) - float64(c.MuP.Instrs)*iAcc
+			dC := e.EstCycles - t0
+			if k == 0 || dE < bestE {
+				bestE = dE
+			}
+			if dC < bestC {
+				bestC = dC
+			}
+			if k == 0 || e.GEQ < minGEQ[j] {
+				minGEQ[j] = e.GEQ
+			}
+		}
+		if p := -bestE; p > 0 {
+			potE[j] = p
+		}
+		if potE[j] > scorePot && scorePot >= 0 {
+			potE[j] = scorePot
+		}
+		if bestC < 0 {
+			potC[j] = -bestC
+		}
+	}
+	sufE := make([]float64, len(pool)+1)
+	sufC := make([]int64, len(pool)+1)
+	sufG := make([]int, len(pool)+1)
+	for j := len(pool) - 1; j >= 0; j-- {
+		sufE[j] = sufE[j+1] + potE[j]
+		sufC[j] = sufC[j+1] + potC[j]
+		sufG[j] = sufG[j+1]
+		if len(viable[j]) > 0 && (sufG[j] == 0 || minGEQ[j] < sufG[j]) {
+			sufG[j] = minGEQ[j]
+		}
+	}
+
+	// obj is one point in objective space; front holds the non-dominated
+	// objectives found so far in THIS geometry, used for pruning.
+	type obj struct {
+		e float64
+		c int64
+		g int
+	}
+	var front []obj
+	dominated := func(p obj) bool {
+		for _, f := range front {
+			if f.e <= p.e && f.c <= p.c && f.g <= p.g {
+				return true
+			}
+		}
+		return false
+	}
+	push := func(p obj) {
+		kept := front[:0]
+		for _, f := range front {
+			if !(p.e <= f.e && p.c <= f.c && p.g <= f.g) {
+				kept = append(kept, f)
+			}
+		}
+		front = append(kept, p)
+	}
+
+	// node state travels functionally down the DFS: the accumulators are
+	// summed in path order, so every configuration's floats are computed
+	// by one fixed expression tree regardless of search schedule.
+	clamp := func(saved, easic float64, instrs, cycDelta int64, geq int) obj {
+		mu := mupE - saved
+		if mu < 0 {
+			mu = 0
+		}
+		rest := restE - float64(instrs)*iAcc
+		if rest < 0 {
+			rest = 0
+		}
+		c := t0 + cycDelta
+		if c < 1 {
+			c = 1
+		}
+		return obj{e: mu + easic + rest, c: c, g: geq}
+	}
+	// bounded reports whether no extension drawing clusters from pool[i:]
+	// can reach a non-dominated point. The bound under-approximates every
+	// reachable objective (clamping only raises the real values), so a
+	// dominated bound proves the whole subtree dominated — admissible
+	// pruning, verified differentially against DisableBound.
+	bounded := func(saved, easic float64, instrs, cycDelta int64, geq, i int) bool {
+		if cfg.DisableBound {
+			return false
+		}
+		elb := mupE - saved + easic + restE - float64(instrs)*iAcc - sufE[i]
+		if elb < 0 {
+			elb = 0
+		}
+		clb := t0 + cycDelta - sufC[i]
+		if clb < 1 {
+			clb = 1
+		}
+		return dominated(obj{e: elb, c: clb, g: geq + sufG[i]})
+	}
+
+	type pathEl struct {
+		j, si int
+		ev    *partition.SetEval
+	}
+	var path []pathEl
+	overlapsPath := func(r *cdfg.Region) bool {
+		for _, el := range path {
+			if partition.RegionsOverlap(pool[el.j].Region, r) {
+				return true
+			}
+		}
+		return false
+	}
+	record := func(o obj) {
+		if dominated(o) {
+			return // transitively dominated — can never reach the frontier
+		}
+		push(o)
+		picks := make([]Pick, len(path))
+		key := fmt.Sprintf("%d/%d/%d|%d/%d/%d", g[0].Sets, g[0].Assoc, g[0].LineWords,
+			g[1].Sets, g[1].Assoc, g[1].LineWords)
+		for i, el := range path {
+			picks[i] = Pick{
+				Region: pool[el.j].Region.ID, Label: pool[el.j].Region.Label,
+				Set: el.ev.RS.Name, SetIndex: el.si,
+				GEQ: el.ev.GEQ, OF: el.ev.OF,
+			}
+			key += fmt.Sprintf("|r%ds%d", picks[i].Region, el.si)
+		}
+		base := float64(mupE + restE)
+		res.points = append(res.points, Point{
+			ICache: g[0], DCache: g[1], Clusters: picks,
+			Energy: units.Energy(o.e), Cycles: o.c, GEQ: o.g,
+			EnergyRatio: o.e / base,
+			CycleRatio:  float64(o.c) / float64(t0),
+			Baseline:    gbase,
+			key:         key,
+		})
+	}
+
+	// The empty subset — pure cache tuning, no hardware — is a valid
+	// configuration and seeds the pruning frontier.
+	record(clamp(0, 0, 0, 0, 0))
+
+	var walk func(i int, saved, easic float64, instrs, cycDelta int64, geq int) error
+	walk = func(i int, saved, easic float64, instrs, cycDelta int64, geq int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if len(path) >= cfg.MaxHW {
+			return nil
+		}
+		for j := i; j < len(pool); j++ {
+			// The bound tightens as j advances (the suffix shrinks), so
+			// one dominated bound cuts the rest of this level too.
+			if bounded(saved, easic, instrs, cycDelta, geq, j) {
+				res.pruned++
+				return nil
+			}
+			if overlapsPath(pool[j].Region) {
+				continue
+			}
+			for _, si := range viable[j] {
+				ev := evals[j][si]
+				res.configs++
+				s2 := saved + float64(ev.EMuPSaved)
+				a2 := easic + float64(ev.EASIC)
+				in2 := instrs + pool[j].MuP.Instrs
+				cd2 := cycDelta + (ev.EstCycles - t0)
+				g2 := geq + ev.GEQ
+				path = append(path, pathEl{j, si, ev})
+				record(clamp(s2, a2, in2, cd2, g2))
+				if err := walk(j+1, s2, a2, in2, cd2, g2); err != nil {
+					return err
+				}
+				path = path[:len(path)-1]
+			}
+		}
+		return nil
+	}
+	if err := walk(0, 0, 0, 0, 0, 0); err != nil {
+		return nil, err
+	}
+
+	// Attach this geometry's evaluations to the shared candidate trail in
+	// deterministic (rank, set) order, then reconstruct a Decision per
+	// recorded point.
+	for j := range pool {
+		for si := 0; si < ns; si++ {
+			if e := evals[j][si]; e != nil {
+				pool[j].Evals = append(pool[j].Evals, e)
+			}
+		}
+	}
+	byID := make(map[int]*partition.Candidate, len(pool))
+	setIdx := make(map[int]map[int]*partition.SetEval, len(pool))
+	for j, c := range pool {
+		byID[c.Region.ID] = c
+		m := make(map[int]*partition.SetEval, ns)
+		for si := 0; si < ns; si++ {
+			if e := evals[j][si]; e != nil {
+				m[si] = e
+			}
+		}
+		setIdx[c.Region.ID] = m
+	}
+	for i := range res.points {
+		p := &res.points[i]
+		dec := &partition.Decision{BaselineOF: pcfg.F, Candidates: all}
+		for _, pk := range p.Clusters {
+			c := byID[pk.Region]
+			e := setIdx[pk.Region][pk.SetIndex]
+			dec.Choices = append(dec.Choices, &partition.Choice{
+				Region: c.Region, RS: e.RS, Binding: e.Binding, Eval: e,
+			})
+		}
+		sort.Slice(dec.Choices, func(a, b int) bool {
+			if dec.Choices[a].Eval.OF != dec.Choices[b].Eval.OF {
+				return dec.Choices[a].Eval.OF < dec.Choices[b].Eval.OF
+			}
+			return dec.Choices[a].Region.ID < dec.Choices[b].Region.ID
+		})
+		if len(dec.Choices) > 0 {
+			dec.Chosen = dec.Choices[0]
+		}
+		p.Decision = dec
+	}
+	// Local reduction before the merge keeps the cross-geometry set small.
+	res.points = reduce(res.points)
+	return res, nil
+}
+
+// reduce sorts points by (Energy, Cycles, GEQ, key) and filters every
+// point weakly dominated by an earlier survivor. Ties on all three
+// objectives keep the smallest key, so the outcome is a pure function of
+// the point set.
+func reduce(all []Point) []Point {
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if a.Energy != b.Energy {
+			return a.Energy < b.Energy
+		}
+		if a.Cycles != b.Cycles {
+			return a.Cycles < b.Cycles
+		}
+		if a.GEQ != b.GEQ {
+			return a.GEQ < b.GEQ
+		}
+		return a.key < b.key
+	})
+	var out []Point
+	for _, p := range all {
+		dom := false
+		for i := range out {
+			q := &out[i]
+			if q.Energy <= p.Energy && q.Cycles <= p.Cycles && q.GEQ <= p.GEQ {
+				dom = true
+				break
+			}
+		}
+		if !dom {
+			out = append(out, p)
+		}
+	}
+	return out
+}

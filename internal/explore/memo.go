@@ -1,0 +1,100 @@
+package explore
+
+import "sync"
+
+// MemoStats is a point-in-time snapshot of a Memo's effectiveness. All
+// counts are totals since construction. For a pure key→value function the
+// totals are deterministic at any worker count: every logical lookup
+// happens exactly once per visit regardless of which goroutine performs
+// it, so Hits+Misses — and therefore the derived hit rate — cannot depend
+// on scheduling.
+type MemoStats struct {
+	Hits      int64 // Get found the key
+	Misses    int64 // Get did not find the key
+	Adds      int64 // entries inserted (Add on a new key)
+	Evictions int64 // entries dropped past the capacity bound
+	Size      int   // entries currently held
+}
+
+// HitRate returns Hits/(Hits+Misses), 0 when nothing was looked up.
+func (s MemoStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Memo is a concurrency-safe map with lookup and eviction accounting,
+// shared by the exploration surfaces that reuse expensive sub-results
+// across evaluations: the partitioner's (cluster, resource set)
+// schedule/binding memo and the DSE explorer's cross-geometry reuse of
+// the same pairs. A bounded memo evicts in insertion (FIFO) order, so as
+// long as insertions happen in a deterministic order — e.g. in the merge
+// phase after an explore.Map barrier — the retained set is deterministic
+// too.
+type Memo[K comparable, V any] struct {
+	mu        sync.Mutex
+	max       int // <= 0: unbounded
+	m         map[K]V
+	order     []K // insertion order, for FIFO eviction
+	hits      int64
+	misses    int64
+	adds      int64
+	evictions int64
+}
+
+// NewMemo returns a memo bounded to max entries; max <= 0 means
+// unbounded.
+func NewMemo[K comparable, V any](max int) *Memo[K, V] {
+	return &Memo[K, V]{max: max, m: make(map[K]V)}
+}
+
+// Get returns the memoized value and whether it was present, counting the
+// lookup as a hit or miss.
+func (m *Memo[K, V]) Get(k K) (V, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.m[k]
+	if ok {
+		m.hits++
+	} else {
+		m.misses++
+	}
+	return v, ok
+}
+
+// Add inserts a value for a new key and evicts the oldest entries past
+// the capacity bound. Adding an existing key replaces its value without
+// touching the insertion order.
+func (m *Memo[K, V]) Add(k K, v V) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.m[k]; ok {
+		m.m[k] = v
+		return
+	}
+	m.m[k] = v
+	m.order = append(m.order, k)
+	m.adds++
+	for m.max > 0 && len(m.m) > m.max {
+		oldest := m.order[0]
+		m.order = m.order[1:]
+		delete(m.m, oldest)
+		m.evictions++
+	}
+}
+
+// Len returns the current entry count.
+func (m *Memo[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.m)
+}
+
+// Stats returns a snapshot of the memo's counters.
+func (m *Memo[K, V]) Stats() MemoStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MemoStats{Hits: m.hits, Misses: m.misses, Adds: m.adds,
+		Evictions: m.evictions, Size: len(m.m)}
+}

@@ -1,0 +1,78 @@
+package explore
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMemoStats(t *testing.T) {
+	m := NewMemo[int, string](0)
+	if _, ok := m.Get(1); ok {
+		t.Fatal("empty memo returned a value")
+	}
+	m.Add(1, "one")
+	if v, ok := m.Get(1); !ok || v != "one" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	m.Add(1, "uno") // replace, not a new insertion
+	if v, _ := m.Get(1); v != "uno" {
+		t.Fatalf("replaced value not visible: %q", v)
+	}
+	st := m.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Adds != 1 || st.Evictions != 0 || st.Size != 1 {
+		t.Errorf("stats = %+v, want hits=2 misses=1 adds=1 evictions=0 size=1", st)
+	}
+	if got, want := st.HitRate(), 2.0/3.0; got != want {
+		t.Errorf("hit rate = %v, want %v", got, want)
+	}
+}
+
+func TestMemoFIFOEviction(t *testing.T) {
+	m := NewMemo[int, int](2)
+	m.Add(1, 10)
+	m.Add(2, 20)
+	m.Add(3, 30) // evicts 1 (oldest)
+	if _, ok := m.Get(1); ok {
+		t.Error("oldest entry survived past capacity")
+	}
+	if _, ok := m.Get(2); !ok {
+		t.Error("entry 2 evicted out of FIFO order")
+	}
+	if _, ok := m.Get(3); !ok {
+		t.Error("newest entry missing")
+	}
+	st := m.Stats()
+	if st.Evictions != 1 || st.Size != 2 {
+		t.Errorf("stats = %+v, want evictions=1 size=2", st)
+	}
+}
+
+// Concurrent gets on a pre-populated memo must count deterministically:
+// every lookup is a hit, so totals are a pure function of the workload.
+func TestMemoConcurrentCounts(t *testing.T) {
+	m := NewMemo[int, int](0)
+	const keys, rounds = 8, 50
+	for k := 0; k < keys; k++ {
+		m.Add(k, k*k)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for k := 0; k < keys; k++ {
+					if v, ok := m.Get(k); !ok || v != k*k {
+						t.Errorf("Get(%d) = %d, %v", k, v, ok)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := m.Stats()
+	if st.Hits != 4*rounds*keys || st.Misses != 0 {
+		t.Errorf("stats = %+v, want hits=%d misses=0", st, 4*rounds*keys)
+	}
+}

@@ -1,0 +1,165 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"lppart/internal/cdfg"
+	"lppart/internal/dataflow"
+	"lppart/internal/explore"
+	"lppart/internal/interp"
+)
+
+// PairKey identifies one (cluster, resource set) pair in the
+// schedule/binding memo: Fig. 1 lines 8-10 depend only on this pair, not
+// on the baseline they are judged against, so every search over the
+// design space — the greedy MaxCores rounds here, the branch-and-bound
+// subtrees and cache geometries of internal/dse — can share one memo.
+type PairKey struct {
+	Region int // region ID
+	Set    int // resource-set index
+}
+
+// Evaluator exposes the Fig. 1 building blocks — candidate enumeration
+// with the Fig. 3 bus-traffic pre-selection, and the per-(cluster,
+// resource set) schedule/bind/objective evaluation — to callers that
+// walk the design space in a different order than the greedy loop.
+// Partition itself runs on one, and internal/dse's Pareto explorer
+// shares the schedule/binding memo across its subtrees and cache
+// geometries through the same type.
+//
+// The evaluator is safe for concurrent Eval calls: the memo serializes
+// its own accesses and scheduleBind is a pure function of the pair.
+type Evaluator struct {
+	p    *cdfg.Program
+	prof *interp.Profile
+	cfg  Config
+	memo *explore.Memo[PairKey, *bindResult]
+}
+
+// NewEvaluator validates the inputs (running the cdfg/dataflow verifiers
+// when cfg.Verify is set) and returns an evaluator with an empty memo.
+func NewEvaluator(p *cdfg.Program, prof *interp.Profile, cfg Config) (*Evaluator, error) {
+	cfg.defaults()
+	if prof == nil {
+		return nil, fmt.Errorf("partition: profile is required")
+	}
+	if cfg.Verify {
+		if err := cdfg.Verify(p); err != nil {
+			return nil, err
+		}
+		for _, r := range p.Regions() {
+			if err := dataflow.VerifyGenUse(p, r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Evaluator{p: p, prof: prof, cfg: cfg,
+		memo: explore.NewMemo[PairKey, *bindResult](0)}, nil
+}
+
+// Config returns the evaluator's fully-defaulted configuration.
+func (e *Evaluator) Config() Config { return e.cfg }
+
+// Program returns the program under evaluation.
+func (e *Evaluator) Program() *cdfg.Program { return e.p }
+
+// Candidates runs Fig. 1 steps 1-5 against a measured baseline: cluster
+// decomposition (the region tree), per-cluster eligibility, the Fig. 3
+// bus-traffic estimate and score, and the N_max^c pre-selection. It
+// returns every candidate (with skip reasons filled in) and the
+// pre-selected pool in rank order.
+func (e *Evaluator) Candidates(base *Baseline) (all, pool []*Candidate) {
+	cum := cumulative(e.p, base.Regions)
+
+	// Steps 1-2: G = {V,E} and cluster decomposition are the cdfg region
+	// tree. Enumerate candidates with their eligibility.
+	for _, r := range e.p.Regions() {
+		c := &Candidate{Region: r}
+		all = append(all, c)
+		if reason := ineligible(e.p, e.prof, r); reason != "" {
+			c.SkipReason = reason
+			continue
+		}
+		prev, next := siblings(r)
+		// Steps 3-4: bus transfer energy (Fig. 3).
+		c.Traffic = EstimateTraffic(e.p, r, prev, next, e.cfg.Lib)
+		c.MuP = cum[r.ID]
+		c.Invocations = invocationsOf(e.prof, r)
+		if c.MuP == nil || c.MuP.Instrs == 0 {
+			c.SkipReason = "cluster never executed on the µP"
+			continue
+		}
+		// Pre-selection score: expected gross win = µP energy spent in
+		// the cluster minus the bus-transfer energy it would add.
+		perInvocationTransfers := c.Traffic.Energy
+		c.Score = float64(c.MuP.Energy) - float64(perInvocationTransfers)*float64(c.Invocations)
+	}
+
+	// Step 5: pre-select the N_max^c most promising clusters.
+	for _, c := range all {
+		if c.SkipReason == "" {
+			pool = append(pool, c)
+		}
+	}
+	sort.Slice(pool, func(i, j int) bool {
+		if pool[i].Score != pool[j].Score {
+			return pool[i].Score > pool[j].Score
+		}
+		return pool[i].Region.ID < pool[j].Region.ID
+	})
+	if len(pool) > e.cfg.MaxClusters {
+		for _, c := range pool[e.cfg.MaxClusters:] {
+			c.SkipReason = fmt.Sprintf("pre-selection: below top %d by bus-traffic score", e.cfg.MaxClusters)
+		}
+		pool = pool[:e.cfg.MaxClusters]
+	}
+	for _, c := range pool {
+		c.Preselected = true
+	}
+	return all, pool
+}
+
+// Eval runs Fig. 1 lines 8-13 for one (cluster, resource set) pair
+// against a baseline, reusing the schedule/binding memo: only the first
+// evaluation of a pair pays for the list schedule and the Fig. 4
+// binding; every later baseline, synergy-flag combination or search
+// subtree recomputes just the objective arithmetic. The returned error
+// is a Config.Verify violation (an internal invariant failure), never a
+// property of the design point — infeasible points come back as
+// ineligible SetEvals.
+func (e *Evaluator) Eval(base *Baseline, c *Candidate, si int, prevHW, nextHW bool) (*SetEval, error) {
+	rs := &e.cfg.ResourceSets[si]
+	key := PairKey{Region: c.Region.ID, Set: si}
+	br, ok := e.memo.Get(key)
+	if !ok {
+		br = scheduleBind(e.prof, e.cfg, c, rs)
+		e.memo.Add(key, br)
+	}
+	if br.verifyErr != nil {
+		return nil, br.verifyErr
+	}
+	return evaluate(base, e.cfg, c, rs, br, prevHW, nextHW), nil
+}
+
+// MemoStats reports the schedule/binding memo's effectiveness.
+func (e *Evaluator) MemoStats() explore.MemoStats { return e.memo.Stats() }
+
+// RegionsOverlap reports whether two clusters share basic blocks: nested
+// or identical regions cannot both move to hardware, so any design-space
+// search must exclude overlapping pairs from one configuration.
+func RegionsOverlap(a, b *cdfg.Region) bool {
+	if a.Func != b.Func {
+		return false
+	}
+	blocks := make(map[int]bool, len(a.Blocks))
+	for _, bid := range a.Blocks {
+		blocks[bid] = true
+	}
+	for _, bid := range b.Blocks {
+		if blocks[bid] {
+			return true
+		}
+	}
+	return false
+}

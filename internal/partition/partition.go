@@ -3,12 +3,10 @@ package partition
 import (
 	"context"
 	"fmt"
-	"sort"
 	"strings"
 
 	"lppart/internal/asic"
 	"lppart/internal/cdfg"
-	"lppart/internal/dataflow"
 	"lppart/internal/explore"
 	"lppart/internal/interp"
 	"lppart/internal/iss"
@@ -190,7 +188,8 @@ type Choice struct {
 // MemoStats reports the effectiveness of the cross-round schedule/binding
 // memo: Binds counts (cluster, resource set) pairs scheduled and bound
 // from scratch, Hits counts pairs whose Fig. 4 result a later MaxCores
-// round reused, recomputing only the objective-function arithmetic.
+// round reused, recomputing only the objective-function arithmetic. It is
+// the partition-level view of the underlying explore.MemoStats.
 type MemoStats struct {
 	Binds int
 	Hits  int
@@ -220,13 +219,6 @@ type Decision struct {
 	Memo MemoStats
 }
 
-// memoKey identifies one (cluster, resource set) pair in the cross-round
-// schedule/binding memo.
-type memoKey struct {
-	region int // region ID
-	set    int // resource-set index
-}
-
 // Partition runs the Fig. 1 process over the program: decompose into
 // clusters (the region tree), estimate bus traffic (Fig. 3), pre-select,
 // schedule + bind (Fig. 4 via internal/asic) per resource set, evaluate
@@ -240,69 +232,20 @@ func Partition(p *cdfg.Program, prof *interp.Profile, base *Baseline, cfg Config
 // caller (e.g. a served request whose HTTP deadline passed) stops the
 // worker pool from picking up further grid points and returns ctx.Err().
 func PartitionCtx(ctx context.Context, p *cdfg.Program, prof *interp.Profile, base *Baseline, cfg Config) (*Decision, error) {
-	cfg.defaults()
 	if prof == nil || base == nil {
 		return nil, fmt.Errorf("partition: profile and baseline are required")
 	}
-	if cfg.Verify {
-		if err := cdfg.Verify(p); err != nil {
-			return nil, err
-		}
-		for _, r := range p.Regions() {
-			if err := dataflow.VerifyGenUse(p, r); err != nil {
-				return nil, err
-			}
-		}
+	e, err := NewEvaluator(p, prof, cfg)
+	if err != nil {
+		return nil, err
 	}
+	cfg = e.cfg
 	dec := &Decision{BaselineOF: cfg.F}
-	cum := cumulative(p, base.Regions)
 
-	// Steps 1-2: G = {V,E} and cluster decomposition are the cdfg region
-	// tree. Enumerate candidates with their eligibility.
-	for _, r := range p.Regions() {
-		c := &Candidate{Region: r}
-		dec.Candidates = append(dec.Candidates, c)
-		if reason := ineligible(p, prof, r); reason != "" {
-			c.SkipReason = reason
-			continue
-		}
-		prev, next := siblings(r)
-		// Steps 3-4: bus transfer energy (Fig. 3).
-		c.Traffic = EstimateTraffic(p, r, prev, next, cfg.Lib)
-		c.MuP = cum[r.ID]
-		c.Invocations = invocationsOf(prof, r)
-		if c.MuP == nil || c.MuP.Instrs == 0 {
-			c.SkipReason = "cluster never executed on the µP"
-			continue
-		}
-		// Pre-selection score: expected gross win = µP energy spent in
-		// the cluster minus the bus-transfer energy it would add.
-		perInvocationTransfers := c.Traffic.Energy
-		c.Score = float64(c.MuP.Energy) - float64(perInvocationTransfers)*float64(c.Invocations)
-	}
-
-	// Step 5: pre-select the N_max^c most promising clusters.
-	var pool []*Candidate
-	for _, c := range dec.Candidates {
-		if c.SkipReason == "" {
-			pool = append(pool, c)
-		}
-	}
-	sort.Slice(pool, func(i, j int) bool {
-		if pool[i].Score != pool[j].Score {
-			return pool[i].Score > pool[j].Score
-		}
-		return pool[i].Region.ID < pool[j].Region.ID
-	})
-	if len(pool) > cfg.MaxClusters {
-		for _, c := range pool[cfg.MaxClusters:] {
-			c.SkipReason = fmt.Sprintf("pre-selection: below top %d by bus-traffic score", cfg.MaxClusters)
-		}
-		pool = pool[:cfg.MaxClusters]
-	}
-	for _, c := range pool {
-		c.Preselected = true
-	}
+	// Steps 1-5: candidate enumeration, Fig. 3 traffic estimates and
+	// pre-selection (shared with the DSE explorer via the Evaluator).
+	all, pool := e.Candidates(base)
+	dec.Candidates = all
 
 	// Steps 6-13, run greedily for up to MaxCores rounds: evaluate each
 	// remaining pre-selected cluster on each resource set, keep the
@@ -314,19 +257,15 @@ func PartitionCtx(ctx context.Context, p *cdfg.Program, prof *interp.Profile, ba
 	// The grid fans out on a bounded worker pool (Config.Workers) and
 	// schedules/bindings are memoized across rounds: Fig. 1 lines 8-10
 	// depend only on (cluster, resource set), so rounds >= 2 reuse them
-	// and recompute only the objective-function arithmetic.
+	// and recompute only the objective-function arithmetic. Each round
+	// visits a (region, set) pair at most once, so the memo computes every
+	// pair exactly once no matter how the pool schedules the grid.
 	round := *base
 	inHW := make(map[int]bool) // region IDs already in hardware
-	memo := make(map[memoKey]*bindResult)
 	type gridTask struct {
 		c              *Candidate
 		si             int
 		prevHW, nextHW bool
-	}
-	type gridResult struct {
-		ev    *SetEval
-		br    *bindResult
-		fresh bool // schedule+bind computed this round (memo miss)
 	}
 	for core := 0; core < cfg.MaxCores; core++ {
 		// Collect this round's grid in deterministic order: pool order
@@ -343,43 +282,26 @@ func PartitionCtx(ctx context.Context, p *cdfg.Program, prof *interp.Profile, ba
 				tasks = append(tasks, gridTask{c, si, prevHW, nextHW})
 			}
 		}
-		// Fan out. The memo is read-only during the fan-out (each round's
-		// grid visits a (region, set) pair at most once; fresh entries are
-		// merged after the barrier), so the workers share it lock-free.
-		results, err := explore.MapCtx(ctx, cfg.Workers, tasks, func(_ int, t gridTask) (gridResult, error) {
-			rs := &cfg.ResourceSets[t.si]
-			br, ok := memo[memoKey{t.c.Region.ID, t.si}]
-			if !ok {
-				br = scheduleBind(prof, cfg, t.c, rs)
-			}
-			return gridResult{evaluate(&round, cfg, t.c, rs, br, t.prevHW, t.nextHW), br, !ok}, nil
+		results, err := explore.MapCtx(ctx, cfg.Workers, tasks, func(_ int, t gridTask) (*SetEval, error) {
+			return e.Eval(&round, t.c, t.si, t.prevHW, t.nextHW)
 		})
 		if err != nil {
-			return nil, err // ctx cancellation; grid tasks themselves never error
+			return nil, err // ctx cancellation or a Config.Verify violation
 		}
-		// Merge in grid order: memo inserts and hit accounting, the
-		// first-round decision trail, and the minimum-OF selection — the
-		// exact order the serial loop used, so the Decision is identical.
+		// Merge in grid order: the first-round decision trail and the
+		// minimum-OF selection — the exact order the serial loop used, so
+		// the Decision is identical at any worker count.
 		var best *Choice
-		for i, r := range results {
+		for i, ev := range results {
 			t := tasks[i]
-			if r.br.verifyErr != nil {
-				return nil, r.br.verifyErr
-			}
-			if r.fresh {
-				memo[memoKey{t.c.Region.ID, t.si}] = r.br
-				dec.Memo.Binds++
-			} else {
-				dec.Memo.Hits++
-			}
 			if core == 0 {
-				t.c.Evals = append(t.c.Evals, r.ev) // the trail shows the first round
+				t.c.Evals = append(t.c.Evals, ev) // the trail shows the first round
 			}
-			if !r.ev.Eligible {
+			if !ev.Eligible {
 				continue
 			}
-			if best == nil || r.ev.OF < best.Eval.OF {
-				best = &Choice{Region: t.c.Region, RS: r.ev.RS, Binding: r.ev.Binding, Eval: r.ev}
+			if best == nil || ev.OF < best.Eval.OF {
+				best = &Choice{Region: t.c.Region, RS: ev.RS, Binding: ev.Binding, Eval: ev}
 			}
 		}
 		if best == nil || best.Eval.OF >= dec.BaselineOF {
@@ -398,6 +320,8 @@ func PartitionCtx(ctx context.Context, p *cdfg.Program, prof *interp.Profile, ba
 	if len(dec.Choices) > 0 {
 		dec.Chosen = dec.Choices[0]
 	}
+	ms := e.MemoStats()
+	dec.Memo = MemoStats{Binds: int(ms.Misses), Hits: int(ms.Hits)}
 	if cfg.Verify {
 		if err := AuditDecision(dec, base, cfg); err != nil {
 			return nil, err
@@ -413,17 +337,8 @@ func overlapsChosen(r *cdfg.Region, inHW map[int]bool, p *cdfg.Program) bool {
 		return false
 	}
 	for _, other := range p.Regions() {
-		if !inHW[other.ID] || other.Func != r.Func {
-			continue
-		}
-		blocks := make(map[int]bool, len(other.Blocks))
-		for _, b := range other.Blocks {
-			blocks[b] = true
-		}
-		for _, b := range r.Blocks {
-			if blocks[b] {
-				return true
-			}
+		if inHW[other.ID] && RegionsOverlap(other, r) {
+			return true
 		}
 	}
 	return false

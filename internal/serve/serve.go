@@ -32,12 +32,10 @@ import (
 	"lppart/internal/behav"
 	"lppart/internal/cache"
 	"lppart/internal/cdfg"
-	"lppart/internal/codegen"
-	"lppart/internal/iss"
+	"lppart/internal/serve/jobs"
 	"lppart/internal/serve/metrics"
 	"lppart/internal/system"
 	"lppart/internal/tech"
-	"lppart/internal/trace"
 )
 
 // Config sizes one server.
@@ -59,6 +57,10 @@ type Config struct {
 	// so an adversarial source cannot pin a worker for the full default
 	// simulation budget (default 50M).
 	MaxInstrs int64
+	// MaxJobs bounds the async exploration job table; once every slot
+	// holds an unfinished job, new POST /v1/explore requests are shed
+	// with 429 (default 64).
+	MaxJobs int
 }
 
 func (c *Config) defaults() {
@@ -80,6 +82,9 @@ func (c *Config) defaults() {
 	if c.MaxInstrs <= 0 {
 		c.MaxInstrs = 50_000_000
 	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 64
+	}
 }
 
 // maxBodyBytes caps request bodies; a request is at most a source plus
@@ -93,6 +98,7 @@ type Server struct {
 	adm     *admission
 	cache   *lruCache
 	flights *flightGroup
+	jobs    *jobs.Store
 	reg     *metrics.Registry
 
 	// baseCtx parents every computation; abort cancels it.
@@ -109,7 +115,7 @@ type Server struct {
 
 // endpoints and outcomes instrumented up front, so the /metrics
 // exposition is complete (all-zero) from the first scrape.
-var endpointNames = []string{"partition", "sweep", "apps"}
+var endpointNames = []string{"partition", "sweep", "explore", "apps", "version"}
 
 var outcomeNames = []string{
 	"ok", "cache_hit", "shed_queue", "shed_drain", "deadline",
@@ -126,6 +132,7 @@ func New(cfg Config) *Server {
 		adm:      newAdmission(cfg.Workers, cfg.QueueDepth),
 		cache:    newLRUCache(cfg.CacheEntries),
 		flights:  newFlightGroup(),
+		jobs:     jobs.NewStore(cfg.MaxJobs),
 		reg:      metrics.NewRegistry(),
 		baseCtx:  ctx,
 		abort:    cancel,
@@ -155,13 +162,23 @@ func New(cfg Config) *Server {
 		func() float64 { return float64(s.adm.busyWorkers()) / float64(cfg.Workers) })
 	s.reg.GaugeFunc("lppartd_cache_entries", "result cache occupancy", "",
 		func() float64 { return float64(s.cache.len()) })
+	for _, st := range []jobs.State{jobs.Queued, jobs.Running, jobs.Done, jobs.Failed} {
+		st := st
+		s.reg.GaugeFunc("lppartd_jobs", "exploration jobs by state",
+			metrics.Labels("state", st.String()),
+			func() float64 { return float64(s.jobs.Count(st)) })
+	}
 
 	s.mux.HandleFunc("POST /v1/partition", s.handlePartition)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
+	s.mux.HandleFunc("GET /v1/explore/{id}", s.handleExploreGet)
+	s.mux.HandleFunc("DELETE /v1/explore/{id}", s.handleExploreDelete)
 	s.mux.HandleFunc("GET /v1/apps", s.handleApps)
+	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		fmt.Fprintln(w, healthLine())
 	})
 	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -239,7 +256,7 @@ func outcomeOf(res *flightResult) string {
 	switch {
 	case res.cacheHit:
 		return "cache_hit"
-	case res.status == http.StatusOK:
+	case res.status == http.StatusOK || res.status == http.StatusAccepted:
 		return "ok"
 	case res.status == http.StatusTooManyRequests:
 		return "shed_queue"
@@ -379,21 +396,17 @@ func (s *Server) computeSweep(ctx context.Context, prog *behav.Program, req *Swe
 	if err != nil {
 		return nil, &apiError{Status: http.StatusUnprocessableEntity, Err: err.Error()}
 	}
-	if ctx.Err() != nil {
-		return nil, &apiError{Status: http.StatusGatewayTimeout, Err: "sweep deadline exceeded"}
-	}
-	mp, _, err := codegen.Compile(ir, codegen.Options{})
+	tr, err := system.RecordTraceCtx(ctx, ir, system.Config{MaxInstrs: s.cfg.MaxInstrs})
 	if err != nil {
-		return nil, &apiError{Status: http.StatusUnprocessableEntity, Err: err.Error()}
-	}
-	rec := &trace.Recorder{}
-	if _, err := iss.Run(mp, iss.Options{Mem: rec, MaxInstrs: s.cfg.MaxInstrs}); err != nil {
+		if ctx.Err() != nil {
+			return nil, &apiError{Status: http.StatusGatewayTimeout, Err: "sweep deadline exceeded"}
+		}
 		return nil, &apiError{Status: http.StatusUnprocessableEntity, Err: err.Error()}
 	}
 	if ctx.Err() != nil {
 		return nil, &apiError{Status: http.StatusGatewayTimeout, Err: "sweep deadline exceeded"}
 	}
-	reps, err := rec.Trace.Sweep(pairs, tech.Default())
+	reps, err := tr.Sweep(pairs, tech.Default())
 	if err != nil {
 		return nil, &apiError{Status: http.StatusUnprocessableEntity, Err: err.Error()}
 	}
@@ -402,7 +415,7 @@ func (s *Server) computeSweep(ctx context.Context, prog *behav.Program, req *Swe
 		name = ir.Name
 	}
 	return &flightResult{status: http.StatusOK,
-		body: jsonBody(buildSweepResponse(name, req.ISweep, &rec.Trace, pairs, reps, key))}, nil
+		body: jsonBody(buildSweepResponse(name, req.ISweep, tr, pairs, reps, key))}, nil
 }
 
 func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {

@@ -25,6 +25,7 @@ import (
 	"lppart/internal/mem"
 	"lppart/internal/partition"
 	"lppart/internal/tech"
+	"lppart/internal/trace"
 	"lppart/internal/units"
 )
 
@@ -95,6 +96,10 @@ type Evaluation struct {
 	Partitioned *Design // nil when no partition was chosen
 	Decision    *partition.Decision
 	Profile     *interp.Profile
+
+	// initialLay is the all-software compile's layout, kept for the
+	// differential memory verify against the partitioned design.
+	initialLay *codegen.Layout
 }
 
 // Savings returns Table 1's "Sav%" (negative = saving).
@@ -231,6 +236,81 @@ func EvaluateIR(ir *cdfg.Program, cfg Config) (*Evaluation, error) {
 	return EvaluateIRCtx(context.Background(), ir, cfg)
 }
 
+// MeasureInitialCtx runs the measurement front half of the Fig. 5 flow —
+// the profiling run and the initial (all-software) design — and returns
+// the partially-filled Evaluation (IR, Profile, Initial) together with
+// the partitioning Baseline derived from the measured design. Evaluate
+// continues from here into the greedy Fig. 1 loop; internal/dse's Pareto
+// explorer continues into a branch-and-bound search instead, but judges
+// every configuration against this same measured baseline.
+func MeasureInitialCtx(ctx context.Context, ir *cdfg.Program, cfg Config) (*Evaluation, *partition.Baseline, error) {
+	cfg.defaults()
+	lib := cfg.Part.Lib
+	micro := &lib.Micro
+
+	// Profiling run (Fig. 5 "Trace Tool" / profiler).
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	profRes, err := interp.Run(ir, interp.Options{CollectProfile: true,
+		MaxSteps: cfg.MaxInstrs})
+	if err != nil {
+		return nil, nil, fmt.Errorf("system: profiling: %w", err)
+	}
+	ev := &Evaluation{App: ir.Name, IR: ir, Profile: profRes.Prof}
+
+	// Initial (all-software) design.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	full, fullLay, err := codegen.Compile(ir, codegen.Options{
+		MemWords: cfg.MemWords, StackWords: cfg.StackWords})
+	if err != nil {
+		return nil, nil, fmt.Errorf("system: compile: %w", err)
+	}
+	initial, _, _, err := runDesign("initial", &isaProgram{prog: full, lay: fullLay}, &cfg, nil, micro)
+	if err != nil {
+		return nil, nil, fmt.Errorf("system: initial design: %w", err)
+	}
+	ev.Initial = initial
+	ev.initialLay = fullLay
+
+	base := &partition.Baseline{
+		TotalEnergy:        initial.Total(),
+		MuPEnergy:          initial.EMuP,
+		RestEnergy:         initial.EICache + initial.EDCache + initial.EMem + initial.EBus,
+		TotalCycles:        initial.TotalCycles(),
+		Regions:            initial.ISS.Regions,
+		Micro:              micro,
+		ICacheAccessEnergy: cfg.ICache.AccessEnergy(lib.Cache),
+	}
+	return ev, base, nil
+}
+
+// RecordTraceCtx compiles the program and replays it on the ISS with a
+// trace recorder attached, returning the complete memory-reference trace
+// (instruction fetches, data reads and writes). The trace feeds the
+// single-pass stack-distance cache sweeps: the access sequence is a pure
+// function of the program, independent of any cache geometry, so one
+// recording prices every geometry.
+func RecordTraceCtx(ctx context.Context, ir *cdfg.Program, cfg Config) (*trace.Trace, error) {
+	cfg.defaults()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	mp, _, err := codegen.Compile(ir, codegen.Options{
+		MemWords: cfg.MemWords, StackWords: cfg.StackWords})
+	if err != nil {
+		return nil, fmt.Errorf("system: compile: %w", err)
+	}
+	rec := &trace.Recorder{}
+	if _, err := iss.Run(mp, iss.Options{Micro: &cfg.Part.Lib.Micro, Mem: rec,
+		MaxInstrs: cfg.MaxInstrs}); err != nil {
+		return nil, fmt.Errorf("system: trace recording: %w", err)
+	}
+	return &rec.Trace, nil
+}
+
 // EvaluateIRCtx is EvaluateIR with cancellation: ctx is checked at every
 // stage boundary of the Fig. 5 flow (profile → initial design →
 // partitioning → partitioned design) and threaded into the partitioner's
@@ -241,43 +321,13 @@ func EvaluateIRCtx(ctx context.Context, ir *cdfg.Program, cfg Config) (*Evaluati
 	lib := cfg.Part.Lib
 	micro := &lib.Micro
 
-	// Profiling run (Fig. 5 "Trace Tool" / profiler).
-	if err := ctx.Err(); err != nil {
+	ev, base, err := MeasureInitialCtx(ctx, ir, cfg)
+	if err != nil {
 		return nil, err
 	}
-	profRes, err := interp.Run(ir, interp.Options{CollectProfile: true,
-		MaxSteps: cfg.MaxInstrs})
-	if err != nil {
-		return nil, fmt.Errorf("system: profiling: %w", err)
-	}
-	ev := &Evaluation{App: ir.Name, IR: ir, Profile: profRes.Prof}
-
-	// Initial (all-software) design.
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	full, fullLay, err := codegen.Compile(ir, codegen.Options{
-		MemWords: cfg.MemWords, StackWords: cfg.StackWords})
-	if err != nil {
-		return nil, fmt.Errorf("system: compile: %w", err)
-	}
-	initial, _, _, err := runDesign("initial", &isaProgram{prog: full, lay: fullLay}, &cfg, nil, micro)
-	if err != nil {
-		return nil, fmt.Errorf("system: initial design: %w", err)
-	}
-	ev.Initial = initial
 
 	// Partitioning (Fig. 1).
-	base := &partition.Baseline{
-		TotalEnergy:        initial.Total(),
-		MuPEnergy:          initial.EMuP,
-		RestEnergy:         initial.EICache + initial.EDCache + initial.EMem + initial.EBus,
-		TotalCycles:        initial.TotalCycles(),
-		Regions:            initial.ISS.Regions,
-		Micro:              micro,
-		ICacheAccessEnergy: cfg.ICache.AccessEnergy(lib.Cache),
-	}
-	dec, err := partition.PartitionCtx(ctx, ir, profRes.Prof, base, cfg.Part)
+	dec, err := partition.PartitionCtx(ctx, ir, ev.Profile, base, cfg.Part)
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
@@ -336,7 +386,7 @@ func EvaluateIRCtx(ctx context.Context, ir *cdfg.Program, cfg Config) (*Evaluati
 	ev.Partitioned = pd
 
 	if !cfg.SkipVerify {
-		if err := verify(ir, fullLay, initial.ISS.Mem, partLay, pd.ISS.Mem); err != nil {
+		if err := verify(ir, ev.initialLay, ev.Initial.ISS.Mem, partLay, pd.ISS.Mem); err != nil {
 			return nil, fmt.Errorf("system: partitioned design diverged: %w", err)
 		}
 	}
