@@ -13,6 +13,7 @@
 package lppart
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -22,9 +23,11 @@ import (
 	"lppart/internal/cache"
 	"lppart/internal/cdfg"
 	"lppart/internal/codegen"
+	"lppart/internal/dse"
 	"lppart/internal/interp"
 	"lppart/internal/iss"
 	"lppart/internal/mem"
+	"lppart/internal/memostore"
 	"lppart/internal/partition"
 	"lppart/internal/sched"
 	"lppart/internal/system"
@@ -343,6 +346,66 @@ func BenchmarkFig6Parallel(b *testing.B) {
 	b.ReportMetric(-maxSav, "min_savings_%")
 	b.ReportMetric(-minSav, "max_savings_%")
 	b.ReportMetric(memo.HitRate()*100, "cache_hit_%")
+}
+
+// BenchmarkFrontierDelta times the branch-and-bound Pareto exploration
+// of MPG — the acceptance benchmark for the delta-evaluation work.
+// "cold" runs the whole flow: measurement (interpreter, ISS, sweep)
+// followed by the delta-evaluated subset search per geometry. "warm"
+// replays the measurement phase from a pre-populated content-addressed
+// memostore, leaving only the search in the timed section. Both emit
+// byte-identical frontiers (TestStoreWarmFrontierByteIdentical); the
+// cold/warm gap is the measurement share of the wall time.
+func BenchmarkFrontierDelta(b *testing.B) {
+	a, err := apps.ByName("MPG")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := a.Parse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ir, err := cdfg.Build(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	report := func(b *testing.B, f *dse.Frontier) {
+		b.ReportMetric(float64(len(f.Points)), "points")
+		b.ReportMetric(float64(f.Stats.Configs), "configs")
+		b.ReportMetric(float64(f.Stats.Pruned), "pruned")
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		var f *dse.Frontier
+		for i := 0; i < b.N; i++ {
+			f, err = dse.Explore(context.Background(), ir, dse.Config{Workers: 0})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b, f)
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		st, err := memostore.Open(b.TempDir(), memostore.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		cfg := dse.Config{Workers: 0, Store: st}
+		if _, err := dse.Explore(context.Background(), ir, cfg); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var f *dse.Frontier
+		for i := 0; i < b.N; i++ {
+			f, err = dse.Explore(context.Background(), ir, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b, f)
+	})
 }
 
 // --- single-pass cache profiler ---------------------------------------

@@ -23,6 +23,7 @@ import (
 	"lppart/internal/cdfg"
 	"lppart/internal/codegen"
 	"lppart/internal/dse"
+	"lppart/internal/memostore"
 	"lppart/internal/report"
 	"lppart/internal/system"
 	"lppart/internal/tech"
@@ -42,6 +43,7 @@ func main() {
 		frontier    = flag.Bool("frontier", false, "explore the design space and print the Pareto frontier instead of the greedy decision")
 		maxHW       = flag.Int("maxhw", 0, "frontier mode: max clusters moved to hardware per configuration (0 = default)")
 		jflag       = flag.Int("j", 0, "frontier mode: concurrent geometry searches (0 = one per CPU; output is identical at any -j)")
+		storeDir    = flag.String("store", "", "frontier mode: persistent measurement memo directory (warm runs skip the measurement phase; output is byte-identical)")
 	)
 	flag.Parse()
 
@@ -82,8 +84,16 @@ func main() {
 		if berr != nil {
 			fatal(berr)
 		}
-		f, ferr := dse.Explore(context.Background(), ir,
-			dse.Config{Sys: cfg, MaxHW: *maxHW, Workers: *jflag})
+		dcfg := dse.Config{Sys: cfg, MaxHW: *maxHW, Workers: *jflag}
+		if *storeDir != "" {
+			st, serr := memostore.Open(*storeDir, memostore.Options{})
+			if serr != nil {
+				fatal(serr)
+			}
+			defer st.Close()
+			dcfg.Store = st
+		}
+		f, ferr := dse.Explore(context.Background(), ir, dcfg)
 		if ferr != nil {
 			fatal(ferr)
 		}

@@ -48,18 +48,18 @@ type result struct {
 	Config     benchConfig `json:"config"`
 	Clients    int         `json:"clients"`
 	DurationS  float64     `json:"duration_s"`
-	Requests   int64   `json:"requests"`
-	Errors     int64   `json:"errors"`
-	Retries    int64   `json:"retries"`
-	QPS        float64 `json:"qps"`
-	CacheHits  int64   `json:"cache_hits"`
-	HitRate    float64 `json:"hit_rate"`
-	P50Ms      float64 `json:"p50_ms"`
-	P90Ms      float64 `json:"p90_ms"`
-	P99Ms      float64 `json:"p99_ms"`
-	MaxMs      float64 `json:"max_ms"`
-	WarmupS    float64 `json:"warmup_s"`
-	SpawnedSrv bool    `json:"spawned_server"`
+	Requests   int64       `json:"requests"`
+	Errors     int64       `json:"errors"`
+	Retries    int64       `json:"retries"`
+	QPS        float64     `json:"qps"`
+	CacheHits  int64       `json:"cache_hits"`
+	HitRate    float64     `json:"hit_rate"`
+	P50Ms      float64     `json:"p50_ms"`
+	P90Ms      float64     `json:"p90_ms"`
+	P99Ms      float64     `json:"p99_ms"`
+	MaxMs      float64     `json:"max_ms"`
+	WarmupS    float64     `json:"warmup_s"`
+	SpawnedSrv bool        `json:"spawned_server"`
 }
 
 func main() {

@@ -13,6 +13,8 @@
 //
 //	lppartd                         # serve on :8095 with 4 workers
 //	lppartd -addr=:9000 -workers=8 -queue=128 -cache=4096 -timeout=60s
+//	lppartd -store=/var/lib/lppartd # persist results across restarts
+//	lppartd -pprof=localhost:6060   # opt-in profiling listener
 //
 // On SIGINT/SIGTERM the daemon drains: /readyz flips to 503, new
 // evaluations are shed, in-flight work completes (up to -drain), then
@@ -24,22 +26,27 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served only via -pprof
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"lppart/internal/memostore"
 	"lppart/internal/serve"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8095", "listen address")
-		workers = flag.Int("workers", 4, "concurrent evaluation workers")
-		queue   = flag.Int("queue", 64, "admission queue depth (beyond this, requests are shed with 429)")
-		entries = flag.Int("cache", 1024, "result cache entries")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-request evaluation deadline")
-		drain   = flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight evaluations")
+		addr     = flag.String("addr", ":8095", "listen address")
+		workers  = flag.Int("workers", 4, "concurrent evaluation workers")
+		queue    = flag.Int("queue", 64, "admission queue depth (beyond this, requests are shed with 429)")
+		entries  = flag.Int("cache", 1024, "result cache entries")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request evaluation deadline")
+		drain    = flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight evaluations")
+		storeDir = flag.String("store", "", "persistent result store directory (a restarted daemon replays previously-computed 200 bodies byte-identically)")
+		roStore  = flag.Bool("store-readonly", false, "open -store read-only (fleet nodes sharing a writer's directory)")
+		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off when empty")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -47,12 +54,38 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := serve.New(serve.Config{
+	scfg := serve.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *entries,
 		Timeout:      *timeout,
-	})
+	}
+	if *storeDir != "" {
+		st, err := memostore.Open(*storeDir, memostore.Options{ReadOnly: *roStore})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lppartd: store: %v\n", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		scfg.Store = st
+		fmt.Fprintf(os.Stderr, "lppartd: result store %s (%d entries", *storeDir, st.Len())
+		if n := st.Skipped(); n > 0 {
+			fmt.Fprintf(os.Stderr, ", %d corrupt records skipped", n)
+		}
+		fmt.Fprintln(os.Stderr, ")")
+	}
+	if *pprofOn != "" {
+		// Profiling is opt-in and on its own listener, so the profiling
+		// surface is never exposed on the service address by accident.
+		go func() {
+			fmt.Fprintf(os.Stderr, "lppartd: pprof on http://%s/debug/pprof/\n", *pprofOn)
+			if err := http.ListenAndServe(*pprofOn, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "lppartd: pprof: %v\n", err)
+			}
+		}()
+	}
+
+	srv := serve.New(scfg)
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)

@@ -221,3 +221,22 @@ func TestCoreSharedMemoryRoundTrip(t *testing.T) {
 		t.Errorf("after external write, out[10] = %d, want %d", shared[outBase+10], want)
 	}
 }
+
+// TestRunASICZeroAlloc: after warm-up, repeated invocations must not heap
+// allocate — the core's invocation state lives entirely in preallocated
+// dense slabs (scalars, temps, array buffers, placement tables), which is
+// the zero-alloc contract of the partitioning hot path.
+func TestRunASICZeroAlloc(t *testing.T) {
+	core, shared := buildCore(t, scaleSrc, 1)
+	if _, err := core.RunASIC(0, shared); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := core.RunASIC(0, shared); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("RunASIC allocates %.1f objects per invocation, want 0", allocs)
+	}
+}

@@ -30,6 +30,11 @@ import (
 // Everything the cluster touches is synchronized functionally so the
 // co-simulation stays exact, but only the live sets are *charged* as
 // transfers — matching Fig. 3's accounting.
+//
+// All per-invocation state lives in dense tables sized at NewCore
+// (scalars and arrays by interned dataflow slot, temporaries by local ID,
+// placements and switching state by op ID, block metadata by block ID):
+// a steady-state RunASIC performs no heap allocation and no map lookups.
 type Core struct {
 	ID      int
 	Region  *cdfg.Region
@@ -43,6 +48,7 @@ type Core struct {
 	// µP clock period, for converting ASIC cycles to system cycles.
 	microClock units.Time
 
+	ix                               *dataflow.Index
 	liveIn, liveOut, genAll, touched []varSpan
 	exitBlock                        int
 
@@ -54,16 +60,31 @@ type Core struct {
 	WordsIn     int64
 	WordsOut    int64
 
-	// Switching-activity state per op ID.
-	prevA, prevB map[int]int32
+	// Switching-activity state per op ID (dense; persists across
+	// invocations like the datapath's registers do).
+	prevA, prevB []int32
+
+	// Dense per-invocation architectural state, reset by RunASIC.
+	scalars []int32   // by interned slot; non-touched slots read as zero
+	temps   []int32   // by local ID (datapath registers)
+	arrays  [][]int32 // by interned slot; nil for non-array slots
+	// deadArrays lists array slots the region references that are not in
+	// the touched set: they start each invocation zero-initialized.
+	deadArrays []int
+
+	// Dense runtime tables derived from Binding and the region shape.
+	placements []Placement // by op ID
+	placedOK   []bool
+	blockLen   []int64 // by block ID
+	inRegion   []bool  // by block ID
 
 	// MaxBlocksPerInvocation guards against runaway clusters.
 	MaxBlocks int64
 }
 
 type varSpan struct {
-	key   dataflow.Key
-	addr  int32 // shared-memory home
+	slot  int // interned dataflow slot
+	addr  int32
 	words int32
 	array bool
 }
@@ -77,24 +98,29 @@ func NewCore(id int, p *cdfg.Program, r *cdfg.Region, b *Binding, lay *codegen.L
 		ID: id, Region: r, Binding: b,
 		prog: p, lay: lay, lib: lib, bus: bs, mem: m,
 		microClock: lib.Micro.ClockPeriod,
-		prevA:      make(map[int]int32),
-		prevB:      make(map[int]int32),
 		MaxBlocks:  200_000_000,
 	}
-	gen, use := dataflow.GenUse(p, r)
-	_, useSucc := dataflow.Surroundings(p, r)
+	ix := dataflow.NewIndex(p, r.Func)
+	c.ix = ix
+	gen, use := dataflow.GenUseOn(ix, r)
+	_, useSucc := dataflow.SurroundingsOn(ix, r)
 	liveOut := gen.Intersect(useSucc)
 
-	spansOf := func(s dataflow.Set) ([]varSpan, error) {
+	spansOf := func(s dataflow.BitSet) ([]varSpan, error) {
 		var spans []varSpan
-		for _, k := range s.Keys() {
-			sp, err := c.spanOf(k)
+		var err error
+		s.ForEachIndex(func(i int) {
 			if err != nil {
-				return nil, err
+				return
+			}
+			sp, e := c.spanOf(i)
+			if e != nil {
+				err = e
+				return
 			}
 			spans = append(spans, sp)
-		}
-		return spans, nil
+		})
+		return spans, err
 	}
 	var err error
 	if c.liveIn, err = spansOf(use); err != nil {
@@ -106,9 +132,10 @@ func NewCore(id int, p *cdfg.Program, r *cdfg.Region, b *Binding, lay *codegen.L
 	if c.genAll, err = spansOf(gen); err != nil {
 		return nil, err
 	}
-	// Everything referenced, for functional synchronization.
-	all := gen.Union(use)
-	if c.touched, err = spansOf(all); err != nil {
+	// Everything referenced, for functional synchronization. Union in
+	// place: gen is not used again below.
+	gen.UnionWith(use)
+	if c.touched, err = spansOf(gen); err != nil {
 		return nil, err
 	}
 	exit, err := findExit(r)
@@ -116,10 +143,72 @@ func NewCore(id int, p *cdfg.Program, r *cdfg.Region, b *Binding, lay *codegen.L
 		return nil, err
 	}
 	c.exitBlock = exit
+	c.buildTables(gen)
 	return c, nil
 }
 
-func (c *Core) spanOf(k dataflow.Key) (varSpan, error) {
+// buildTables sizes the dense runtime state. touched is gen ∪ use.
+func (c *Core) buildTables(touched dataflow.BitSet) {
+	f := c.Region.Func
+	c.scalars = make([]int32, c.ix.Len())
+	c.temps = make([]int32, len(f.Locals))
+	c.arrays = make([][]int32, c.ix.Len())
+	for _, sp := range c.touched {
+		if sp.array {
+			c.arrays[sp.slot] = make([]int32, sp.words)
+		}
+	}
+	maxOp, maxBlock := -1, -1
+	for _, bid := range c.Region.Blocks {
+		if bid > maxBlock {
+			maxBlock = bid
+		}
+		b := f.Block(bid)
+		for i := range b.Ops {
+			op := &b.Ops[i]
+			if op.ID > maxOp {
+				maxOp = op.ID
+			}
+			// Dead-in arrays (referenced but never synchronized) get a
+			// zero-initialized buffer per invocation, like the lazily
+			// created map entries used to.
+			if op.Arr.Valid() {
+				slot := c.ix.IndexOf(dataflow.Key{Global: op.Arr.Global, ID: op.Arr.ID})
+				if c.arrays[slot] == nil {
+					var v cdfg.Var
+					if op.Arr.Global {
+						v = c.prog.Globals[op.Arr.ID]
+					} else {
+						v = f.Locals[op.Arr.ID]
+					}
+					c.arrays[slot] = make([]int32, v.Len)
+					if !touched.ContainsIndex(slot) {
+						c.deadArrays = append(c.deadArrays, slot)
+					}
+				}
+			}
+		}
+	}
+	c.prevA = make([]int32, maxOp+1)
+	c.prevB = make([]int32, maxOp+1)
+	c.placements = make([]Placement, maxOp+1)
+	c.placedOK = make([]bool, maxOp+1)
+	for id, pl := range c.Binding.PlacementOf { //lint:ordered dense fill, one distinct slot per key
+		if id >= 0 && id <= maxOp {
+			c.placements[id] = pl
+			c.placedOK[id] = true
+		}
+	}
+	c.blockLen = make([]int64, maxBlock+1)
+	c.inRegion = make([]bool, maxBlock+1)
+	for _, bid := range c.Region.Blocks {
+		c.inRegion[bid] = true
+		c.blockLen[bid] = int64(c.Binding.BlockLen[bid])
+	}
+}
+
+func (c *Core) spanOf(slot int) (varSpan, error) {
+	k := c.ix.KeyOf(slot)
 	var v cdfg.Var
 	if k.Global {
 		v = c.prog.Globals[k.ID]
@@ -131,7 +220,7 @@ func (c *Core) spanOf(k dataflow.Key) (varSpan, error) {
 		return varSpan{}, fmt.Errorf("asic: variable %s of %s has no shared-memory home",
 			v.Name, c.Region.Func.Name)
 	}
-	return varSpan{key: k, addr: addr, words: words, array: v.IsArray()}, nil
+	return varSpan{slot: slot, addr: addr, words: words, array: v.IsArray()}, nil
 }
 
 // findExit locates the unique block outside the region reached from it.
@@ -157,13 +246,6 @@ func findExit(r *cdfg.Region) (int, error) {
 	return exit, nil
 }
 
-// state is the core's architectural state during one invocation.
-type state struct {
-	scalars map[dataflow.Key]int32
-	temps   map[int]int32 // function-local temporaries (datapath regs)
-	arrays  map[dataflow.Key][]int32
-}
-
 // RunASIC implements iss.ASICHandler: one cluster invocation on the shared
 // memory. It returns the µP-clock cycles the system waits.
 func (c *Core) RunASIC(id int32, shared []int32) (int64, error) {
@@ -172,20 +254,27 @@ func (c *Core) RunASIC(id int32, shared []int32) (int64, error) {
 	}
 	c.Invocations++
 
-	st := &state{
-		scalars: make(map[dataflow.Key]int32),
-		temps:   make(map[int]int32),
-		arrays:  make(map[dataflow.Key][]int32),
+	// Reset the invocation state: non-touched scalars and dead-in arrays
+	// read as zero, temporaries start cold.
+	for i := range c.scalars {
+		c.scalars[i] = 0
+	}
+	for i := range c.temps {
+		c.temps[i] = 0
+	}
+	for _, slot := range c.deadArrays {
+		buf := c.arrays[slot]
+		for i := range buf {
+			buf[i] = 0
+		}
 	}
 	// Download phase: functionally sync everything touched; charge the
 	// live-in set.
 	for _, sp := range c.touched {
 		if sp.array {
-			buf := make([]int32, sp.words)
-			copy(buf, shared[sp.addr:sp.addr+sp.words])
-			st.arrays[sp.key] = buf
+			copy(c.arrays[sp.slot], shared[sp.addr:sp.addr+sp.words])
 		} else {
-			st.scalars[sp.key] = shared[sp.addr]
+			c.scalars[sp.slot] = shared[sp.addr]
 		}
 	}
 	var transferStall int64
@@ -198,7 +287,7 @@ func (c *Core) RunASIC(id int32, shared []int32) (int64, error) {
 	transferStall += int64(c.mem.Read(inWords))
 
 	// Execute the cluster on the datapath.
-	cycles, energy, err := c.execute(st)
+	cycles, energy, err := c.execute()
 	if err != nil {
 		return 0, err
 	}
@@ -209,9 +298,9 @@ func (c *Core) RunASIC(id int32, shared []int32) (int64, error) {
 	// set.
 	for _, sp := range c.genAll {
 		if sp.array {
-			copy(shared[sp.addr:sp.addr+sp.words], st.arrays[sp.key])
+			copy(shared[sp.addr:sp.addr+sp.words], c.arrays[sp.slot])
 		} else {
-			shared[sp.addr] = st.scalars[sp.key]
+			shared[sp.addr] = c.scalars[sp.slot]
 		}
 	}
 	outWords := 0
@@ -229,41 +318,35 @@ func (c *Core) RunASIC(id int32, shared []int32) (int64, error) {
 	return total, nil
 }
 
-func (c *Core) readOperand(st *state, o cdfg.Operand) (int32, error) {
+func (c *Core) readOperand(o cdfg.Operand) int32 {
 	if o.IsConst {
-		return o.K, nil
+		return o.K
 	}
-	return c.readSlot(st, o.Ref)
+	return c.readSlot(o.Ref)
 }
 
-func (c *Core) readSlot(st *state, r cdfg.VarRef) (int32, error) {
-	if !r.Global && c.Region.Func.Locals[r.ID].Temp {
-		return st.temps[r.ID], nil
+func (c *Core) readSlot(r cdfg.VarRef) int32 {
+	if !r.Global && c.ix.IsTemp(c.ix.NumGlobals()+r.ID) {
+		return c.temps[r.ID]
 	}
-	k := dataflow.Key{Global: r.Global, ID: r.ID}
-	v, ok := st.scalars[k]
-	if !ok {
-		// Not in the touched set: must be dead-in; reads see zero.
-		return 0, nil
-	}
-	return v, nil
+	return c.scalars[c.ix.IndexOf(dataflow.Key{Global: r.Global, ID: r.ID})]
 }
 
-func (c *Core) writeSlot(st *state, r cdfg.VarRef, v int32) {
-	if !r.Global && c.Region.Func.Locals[r.ID].Temp {
-		st.temps[r.ID] = v
+func (c *Core) writeSlot(r cdfg.VarRef, v int32) {
+	if !r.Global && c.ix.IsTemp(c.ix.NumGlobals()+r.ID) {
+		c.temps[r.ID] = v
 		return
 	}
-	st.scalars[dataflow.Key{Global: r.Global, ID: r.ID}] = v
+	c.scalars[c.ix.IndexOf(dataflow.Key{Global: r.Global, ID: r.ID})] = v
 }
 
 // opEnergy charges one datapath operation with activity-scaled switching
 // energy: E = E_active_cycle(kind) × dur × (0.25 + 0.75 × toggle rate).
 func (c *Core) opEnergy(op *cdfg.Op, a, b int32) units.Energy {
-	pl, ok := c.Binding.PlacementOf[op.ID]
-	if !ok {
+	if !c.placedOK[op.ID] {
 		return 0 // consts, branches: wiring and FSM, charged per cycle
 	}
+	pl := &c.placements[op.ID]
 	if pl.Mem {
 		return c.lib.EBufferAccess
 	}
@@ -277,11 +360,7 @@ func (c *Core) opEnergy(op *cdfg.Op, a, b int32) units.Energy {
 
 // execute runs the region's blocks until control leaves for the exit
 // block, accounting cycles (scheduled block latencies) and energy.
-func (c *Core) execute(st *state) (cycles int64, energy units.Energy, err error) {
-	inRegion := make(map[int]bool, len(c.Region.Blocks))
-	for _, bid := range c.Region.Blocks {
-		inRegion[bid] = true
-	}
+func (c *Core) execute() (cycles int64, energy units.Energy, err error) {
 	f := c.Region.Func
 	perCycleOverhead := c.lib.EControllerPerCycle +
 		units.Energy(c.Binding.LiveWords)*c.lib.ERegisterPerCycle
@@ -298,7 +377,7 @@ func (c *Core) execute(st *state) (cycles int64, energy units.Energy, err error)
 	blockID := c.Region.Entry
 	var blocksRun int64
 	for {
-		if !inRegion[blockID] {
+		if blockID >= len(c.inRegion) || !c.inRegion[blockID] {
 			if blockID != c.exitBlock {
 				return 0, 0, fmt.Errorf("asic: control left region %s via unexpected block b%d",
 					c.Region.Label, blockID)
@@ -309,7 +388,7 @@ func (c *Core) execute(st *state) (cycles int64, energy units.Energy, err error)
 		if blocksRun > c.MaxBlocks {
 			return 0, 0, fmt.Errorf("asic: region %s exceeded %d blocks", c.Region.Label, c.MaxBlocks)
 		}
-		blen := int64(c.Binding.BlockLen[blockID])
+		blen := c.blockLen[blockID]
 		cycles += blen
 		energy += units.Energy(float64(blen)) * (perCycleOverhead + idlePerCycle)
 
@@ -320,34 +399,22 @@ func (c *Core) execute(st *state) (cycles int64, energy units.Energy, err error)
 			switch {
 			case op.Code == cdfg.Nop:
 			case op.Code == cdfg.ConstOp:
-				c.writeSlot(st, op.Dst, op.Imm)
+				c.writeSlot(op.Dst, op.Imm)
 			case op.Code == cdfg.Copy:
-				v, e := c.readOperand(st, op.A)
-				if e != nil {
-					return 0, 0, e
-				}
+				v := c.readOperand(op.A)
 				energy += c.opEnergy(op, v, 0)
-				c.writeSlot(st, op.Dst, v)
+				c.writeSlot(op.Dst, v)
 			case op.Code.IsBinary():
-				a, e := c.readOperand(st, op.A)
-				if e != nil {
-					return 0, 0, e
-				}
-				bv, e := c.readOperand(st, op.B)
-				if e != nil {
-					return 0, 0, e
-				}
+				a := c.readOperand(op.A)
+				bv := c.readOperand(op.B)
 				energy += c.opEnergy(op, a, bv)
 				v, evalErr := behav.EvalBinOp(cdfg.BehavBinOp(op.Code), a, bv)
 				if evalErr != nil {
 					return 0, 0, fmt.Errorf("asic: %v: %v", op.Pos, evalErr)
 				}
-				c.writeSlot(st, op.Dst, v)
+				c.writeSlot(op.Dst, v)
 			case op.Code == cdfg.Neg || op.Code == cdfg.Not || op.Code == cdfg.LNot:
-				a, e := c.readOperand(st, op.A)
-				if e != nil {
-					return 0, 0, e
-				}
+				a := c.readOperand(op.A)
 				energy += c.opEnergy(op, a, 0)
 				var v int32
 				switch op.Code {
@@ -360,28 +427,19 @@ func (c *Core) execute(st *state) (cycles int64, energy units.Energy, err error)
 						v = 1
 					}
 				}
-				c.writeSlot(st, op.Dst, v)
+				c.writeSlot(op.Dst, v)
 			case op.Code == cdfg.Load:
-				idx, e := c.readOperand(st, op.A)
-				if e != nil {
-					return 0, 0, e
-				}
-				arr := c.arrayOf(st, op.Arr)
+				idx := c.readOperand(op.A)
+				arr := c.arrayOf(op.Arr)
 				if idx < 0 || int(idx) >= len(arr) {
 					return 0, 0, fmt.Errorf("asic: %v: index %d out of range [0,%d)", op.Pos, idx, len(arr))
 				}
 				energy += c.opEnergy(op, idx, 0)
-				c.writeSlot(st, op.Dst, arr[idx])
+				c.writeSlot(op.Dst, arr[idx])
 			case op.Code == cdfg.Store:
-				idx, e := c.readOperand(st, op.A)
-				if e != nil {
-					return 0, 0, e
-				}
-				val, e := c.readOperand(st, op.B)
-				if e != nil {
-					return 0, 0, e
-				}
-				arr := c.arrayOf(st, op.Arr)
+				idx := c.readOperand(op.A)
+				val := c.readOperand(op.B)
+				arr := c.arrayOf(op.Arr)
 				if idx < 0 || int(idx) >= len(arr) {
 					return 0, 0, fmt.Errorf("asic: %v: index %d out of range [0,%d)", op.Pos, idx, len(arr))
 				}
@@ -390,10 +448,7 @@ func (c *Core) execute(st *state) (cycles int64, energy units.Energy, err error)
 			case op.Code == cdfg.Br:
 				next = op.Target
 			case op.Code == cdfg.CBr:
-				v, e := c.readOperand(st, op.A)
-				if e != nil {
-					return 0, 0, e
-				}
+				v := c.readOperand(op.A)
 				if v != 0 {
 					next = op.Then
 				} else {
@@ -410,20 +465,8 @@ func (c *Core) execute(st *state) (cycles int64, energy units.Energy, err error)
 	}
 }
 
-// arrayOf returns the core-local buffer of an array, creating a
-// zero-initialized one if the array was never synchronized (dead-in).
-func (c *Core) arrayOf(st *state, a cdfg.ArrRef) []int32 {
-	k := dataflow.Key{Global: a.Global, ID: a.ID}
-	if buf, ok := st.arrays[k]; ok {
-		return buf
-	}
-	var v cdfg.Var
-	if a.Global {
-		v = c.prog.Globals[a.ID]
-	} else {
-		v = c.Region.Func.Locals[a.ID]
-	}
-	buf := make([]int32, v.Len)
-	st.arrays[k] = buf
-	return buf
+// arrayOf returns the core-local buffer of an array (preallocated for
+// every array the region references).
+func (c *Core) arrayOf(a cdfg.ArrRef) []int32 {
+	return c.arrays[c.ix.IndexOf(dataflow.Key{Global: a.Global, ID: a.ID})]
 }

@@ -45,6 +45,12 @@ type Region struct {
 	Blocks   []int // all block IDs in the region, children included
 	Children []*Region
 	Parent   *Region
+
+	// ops caches the flattened op-pointer list served by Ops(). The cache
+	// assumes the block *structure* is frozen once analyses start (op
+	// contents may still be edited through the cached pointers, which
+	// alias the block slices).
+	ops []*Op
 }
 
 // Depth returns the nesting depth (the function body is depth 0).
@@ -67,15 +73,27 @@ func (r *Region) Contains(id int) bool {
 }
 
 // Ops returns pointers to every operation in the region, in block order.
+// The slab is built once per region and cached; callers must not modify
+// the returned slice.
 func (r *Region) Ops() []*Op {
-	var ops []*Op
-	for _, bid := range r.Blocks {
-		b := r.Func.Block(bid)
-		for i := range b.Ops {
-			ops = append(ops, &b.Ops[i])
+	if r.ops == nil {
+		n := 0
+		for _, bid := range r.Blocks {
+			n += len(r.Func.Block(bid).Ops)
 		}
+		ops := make([]*Op, 0, n)
+		for _, bid := range r.Blocks {
+			b := r.Func.Block(bid)
+			for i := range b.Ops {
+				ops = append(ops, &b.Ops[i])
+			}
+		}
+		if ops == nil {
+			ops = []*Op{} // non-nil marks the cache as built
+		}
+		r.ops = ops
 	}
-	return ops
+	return r.ops
 }
 
 // HasCalls reports whether the region contains any Call operation; such

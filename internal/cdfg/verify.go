@@ -251,4 +251,3 @@ func verifyRegionTree(p *Program, r *Region, parent *Region) error {
 	}
 	return nil
 }
-

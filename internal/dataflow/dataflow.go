@@ -12,11 +12,12 @@
 // use, a Store to gen); their transfer width is their element count, which
 // is what makes the bus-traffic estimate of Fig. 3 meaningful for the
 // data-oriented applications the paper targets.
+//
+// Sets are dense BitSets over a per-function interned namespace (Index);
+// all set algebra is word-wise and allocation-free in the -With forms.
 package dataflow
 
 import (
-	"sort"
-
 	"lppart/internal/cdfg"
 )
 
@@ -27,150 +28,62 @@ type Key struct {
 	ID     int
 }
 
-// Set is a set of variable keys.
-type Set map[Key]struct{}
-
-// NewSet returns an empty set.
-func NewSet() Set { return make(Set) }
-
-// Add inserts k.
-func (s Set) Add(k Key) { s[k] = struct{}{} }
-
-// Contains reports membership.
-func (s Set) Contains(k Key) bool {
-	_, ok := s[k]
-	return ok
-}
-
-// Union returns a new set with all elements of s and t.
-func (s Set) Union(t Set) Set {
-	u := NewSet()
-	for k := range s {
-		u.Add(k)
-	}
-	for k := range t {
-		u.Add(k)
-	}
-	return u
-}
-
-// Intersect returns a new set with the elements present in both s and t.
-func (s Set) Intersect(t Set) Set {
-	u := NewSet()
-	for k := range s {
-		if t.Contains(k) {
-			u.Add(k)
-		}
-	}
-	return u
-}
-
-// Minus returns a new set with the elements of s not in t.
-func (s Set) Minus(t Set) Set {
-	u := NewSet()
-	for k := range s {
-		if !t.Contains(k) {
-			u.Add(k)
-		}
-	}
-	return u
-}
-
-// Len returns the cardinality.
-func (s Set) Len() int { return len(s) }
-
-// Keys returns the elements in deterministic order (globals first, then by
-// ID).
-func (s Set) Keys() []Key {
-	keys := make([]Key, 0, len(s))
-	for k := range s {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Global != keys[j].Global {
-			return keys[i].Global
-		}
-		return keys[i].ID < keys[j].ID
-	})
-	return keys
-}
-
-// Words returns the total transfer width of the set in 32-bit words:
-// 1 per scalar, the element count per array. f resolves local IDs; it may
-// be nil when the set holds only globals.
-func (s Set) Words(p *cdfg.Program, f *cdfg.Function) int {
-	total := 0
-	for k := range s {
-		var v cdfg.Var
-		if k.Global {
-			v = p.Globals[k.ID]
-		} else {
-			v = f.Locals[k.ID]
-		}
-		if v.IsArray() {
-			total += int(v.Len)
-		} else {
-			total++
-		}
-	}
-	return total
-}
-
 // keyOfVar converts a scalar reference.
 func keyOfVar(r cdfg.VarRef) Key { return Key{Global: r.Global, ID: r.ID} }
 
 // keyOfArr converts an array reference.
 func keyOfArr(a cdfg.ArrRef) Key { return Key{Global: a.Global, ID: a.ID} }
 
-// isTemp reports whether the key names a compiler temporary of f.
-func isTemp(k Key, p *cdfg.Program, f *cdfg.Function) bool {
-	if k.Global {
-		return false
-	}
-	return f.Locals[k.ID].Temp
+// GenUse computes gen[r] and use[r] for a region over a fresh Index of
+// the region's function. use is block-precise: within each basic block, a
+// read counts only if the variable has not been written earlier in that
+// block (upward-exposed); the per-block sets are then unioned, which is
+// conservative across blocks. Compiler temporaries never escape a
+// statement, so they are excluded from both sets.
+func GenUse(p *cdfg.Program, r *cdfg.Region) (gen, use BitSet) {
+	return GenUseOn(NewIndex(p, r.Func), r)
 }
 
-// GenUse computes gen[r] and use[r] for a region. use is block-precise:
-// within each basic block, a read counts only if the variable has not been
-// written earlier in that block (upward-exposed); the per-block sets are
-// then unioned, which is conservative across blocks. Compiler temporaries
-// never escape a statement, so they are excluded from both sets.
-func GenUse(p *cdfg.Program, r *cdfg.Region) (gen, use Set) {
-	gen, use = NewSet(), NewSet()
+// GenUseOn is GenUse over a caller-provided Index (which must intern
+// (p, r.Func)), letting several analyses of one function share the
+// namespace and combine their sets without re-interning.
+func GenUseOn(ix *Index, r *cdfg.Region) (gen, use BitSet) {
+	gen, use = ix.NewBitSet(), ix.NewBitSet()
+	written := ix.NewBitSet()
 	f := r.Func
 	for _, bid := range r.Blocks {
 		b := f.Block(bid)
-		written := NewSet()
+		written.Clear()
 		for i := range b.Ops {
 			op := &b.Ops[i]
 			// Reads first.
 			for _, u := range op.Uses() {
-				k := keyOfVar(u)
-				if !written.Contains(k) && !isTemp(k, p, f) {
-					use.Add(k)
+				ki := ix.IndexOf(keyOfVar(u))
+				if !written.ContainsIndex(ki) && !ix.IsTemp(ki) {
+					use.AddIndex(ki)
 				}
 			}
 			if op.Code == cdfg.Load {
-				k := keyOfArr(op.Arr)
+				ki := ix.IndexOf(keyOfArr(op.Arr))
 				// A store to an array does not kill loads (partial
 				// definition), so array loads are always uses.
-				if !isTemp(k, p, f) {
-					use.Add(k)
+				if !ix.IsTemp(ki) {
+					use.AddIndex(ki)
 				}
 			}
 			// Then writes.
 			if op.Code == cdfg.Store {
-				k := keyOfArr(op.Arr)
-				if !isTemp(k, p, f) {
-					gen.Add(k)
+				ki := ix.IndexOf(keyOfArr(op.Arr))
+				if !ix.IsTemp(ki) {
+					gen.AddIndex(ki)
 				}
 				continue
 			}
 			if d := op.Def(); d.Valid() {
-				k := keyOfVar(d)
-				written.Add(k)
-				if !isTemp(k, p, f) {
-					gen.Add(k)
+				ki := ix.IndexOf(keyOfVar(d))
+				written.AddIndex(ki)
+				if !ix.IsTemp(ki) {
+					gen.AddIndex(ki)
 				}
 			}
 		}
@@ -180,19 +93,14 @@ func GenUse(p *cdfg.Program, r *cdfg.Region) (gen, use Set) {
 
 // FuncEffect summarizes a whole function's reads and writes of globals
 // (locals cannot escape). Used to account for call side effects when a
-// cluster's surroundings include calls.
-func FuncEffect(p *cdfg.Program, f *cdfg.Function) (gen, use Set) {
+// cluster's surroundings include calls. The returned sets live in f's own
+// namespace but contain only global-prefix slots, so they union into any
+// other Index of the same program.
+func FuncEffect(p *cdfg.Program, f *cdfg.Function) (gen, use BitSet) {
 	gen, use = GenUse(p, f.Root)
-	gOnly := func(s Set) Set {
-		out := NewSet()
-		for k := range s {
-			if k.Global {
-				out.Add(k)
-			}
-		}
-		return out
-	}
-	return gOnly(gen), gOnly(use)
+	gen.MaskGlobals()
+	use.MaskGlobals()
+	return gen, use
 }
 
 // Surroundings computes, for a candidate cluster r, the gen set of
@@ -206,10 +114,25 @@ func FuncEffect(p *cdfg.Program, f *cdfg.Function) (gen, use Set) {
 // sides (their calls may occur before and after), with loop-enclosed
 // clusters additionally seeing their own function's other ops on both
 // sides (the enclosing loop re-executes them around each invocation).
-func Surroundings(p *cdfg.Program, r *cdfg.Region) (genPred, useSucc Set) {
-	genPred, useSucc = NewSet(), NewSet()
+func Surroundings(p *cdfg.Program, r *cdfg.Region) (genPred, useSucc BitSet) {
+	return SurroundingsOn(NewIndex(p, r.Func), r)
+}
+
+// SurroundingsOn is Surroundings over a caller-provided Index (which must
+// intern (p, r.Func)).
+func SurroundingsOn(ix *Index, r *cdfg.Region) (genPred, useSucc BitSet) {
+	p := ix.p
+	genPred, useSucc = ix.NewBitSet(), ix.NewBitSet()
 	f := r.Func
-	inCluster := make(map[int]bool)
+	maxID := -1
+	for _, b := range f.Blocks {
+		for i := range b.Ops {
+			if b.Ops[i].ID > maxID {
+				maxID = b.Ops[i].ID
+			}
+		}
+	}
+	inCluster := make([]bool, maxID+1)
 	first, last := -1, -1
 	for _, op := range r.Ops() {
 		inCluster[op.ID] = true
@@ -231,15 +154,15 @@ func Surroundings(p *cdfg.Program, r *cdfg.Region) (genPred, useSucc Set) {
 			if before {
 				genPred.Add(keyOfArr(op.Arr))
 			}
-		} else if d := op.Def(); d.Valid() && !isTemp(keyOfVar(d), p, f) {
-			if before {
-				genPred.Add(keyOfVar(d))
+		} else if d := op.Def(); d.Valid() {
+			if ki := ix.IndexOf(keyOfVar(d)); !ix.IsTemp(ki) && before {
+				genPred.AddIndex(ki)
 			}
 		}
 		if after {
 			for _, u := range op.Uses() {
-				if !isTemp(keyOfVar(u), p, f) {
-					useSucc.Add(keyOfVar(u))
+				if ki := ix.IndexOf(keyOfVar(u)); !ix.IsTemp(ki) {
+					useSucc.AddIndex(ki)
 				}
 			}
 			if op.Code == cdfg.Load {
@@ -250,7 +173,7 @@ func Surroundings(p *cdfg.Program, r *cdfg.Region) (genPred, useSucc Set) {
 	for _, b := range f.Blocks {
 		for i := range b.Ops {
 			op := &b.Ops[i]
-			if inCluster[op.ID] {
+			if op.ID < len(inCluster) && inCluster[op.ID] {
 				continue
 			}
 			before := op.ID < first || enclosedInLoop
@@ -259,17 +182,14 @@ func Surroundings(p *cdfg.Program, r *cdfg.Region) (genPred, useSucc Set) {
 		}
 	}
 	// Other functions: their global effects may happen on either side.
+	// FuncEffect sets are globals-only, so the cross-index union is safe.
 	for _, other := range p.Funcs {
 		if other == f {
 			continue
 		}
 		g, u := FuncEffect(p, other)
-		for k := range g {
-			genPred.Add(k)
-		}
-		for k := range u {
-			useSucc.Add(k)
-		}
+		genPred.UnionWith(g)
+		useSucc.UnionWith(u)
 	}
 	return genPred, useSucc
 }

@@ -33,9 +33,9 @@ func loopRegion(t *testing.T, p *cdfg.Program, fn string) *cdfg.Region {
 	return nil
 }
 
-func names(p *cdfg.Program, f *cdfg.Function, s Set) map[string]bool {
+func names(p *cdfg.Program, f *cdfg.Function, s BitSet) map[string]bool {
 	out := make(map[string]bool)
-	for k := range s {
+	for _, k := range s.Keys() {
 		if k.Global {
 			out[p.Globals[k.ID].Name] = true
 		} else {
@@ -45,8 +45,20 @@ func names(p *cdfg.Program, f *cdfg.Function, s Set) map[string]bool {
 	return out
 }
 
+// rawIndex builds a synthetic namespace (16 globals + 16 locals, all
+// scalars) for pure set-algebra tests.
+func rawIndex() *Index {
+	n := 32
+	ix := &Index{nGlobals: 16, n: n, words: make([]int32, n), temp: make([]bool, n)}
+	for i := range ix.words {
+		ix.words[i] = 1
+	}
+	return ix
+}
+
 func TestSetOps(t *testing.T) {
-	a, b := NewSet(), NewSet()
+	ix := rawIndex()
+	a, b := ix.NewBitSet(), ix.NewBitSet()
 	k1, k2, k3 := Key{true, 0}, Key{true, 1}, Key{false, 0}
 	a.Add(k1)
 	a.Add(k2)
@@ -57,21 +69,33 @@ func TestSetOps(t *testing.T) {
 	}
 	inter := a.Intersect(b)
 	if inter.Len() != 1 || !inter.Contains(k2) {
-		t.Errorf("intersect = %v", inter)
+		t.Errorf("intersect = %v", inter.Keys())
 	}
 	minus := a.Minus(b)
 	if minus.Len() != 1 || !minus.Contains(k1) {
-		t.Errorf("minus = %v", minus)
+		t.Errorf("minus = %v", minus.Keys())
 	}
 	keys := a.Keys()
 	if len(keys) != 2 || keys[0] != k1 || keys[1] != k2 {
 		t.Errorf("keys = %v", keys)
 	}
+	if got := a.Words(); got != 2 {
+		t.Errorf("words = %d, want 2", got)
+	}
+	a.MaskGlobals()
+	if a.Len() != 2 {
+		t.Errorf("mask dropped globals: %v", a.Keys())
+	}
+	b.MaskGlobals()
+	if b.Len() != 1 || !b.Contains(k2) {
+		t.Errorf("mask kept local: %v", b.Keys())
+	}
 }
 
 func TestSetOpsProperties(t *testing.T) {
-	mk := func(ids []uint8) Set {
-		s := NewSet()
+	ix := rawIndex()
+	mk := func(ids []uint8) BitSet {
+		s := ix.NewBitSet()
 		for _, id := range ids {
 			s.Add(Key{Global: id%2 == 0, ID: int(id % 16)})
 		}
@@ -91,6 +115,16 @@ func TestSetOpsProperties(t *testing.T) {
 		return a.Minus(b).Len()+a.Intersect(b).Len() == a.Len()
 	}
 	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+	// In-place forms agree with the allocating forms.
+	h := func(as, bs []uint8) bool {
+		a, b := mk(as), mk(bs)
+		u := a.Union(b)
+		a.UnionWith(b)
+		return a.Len() == u.Len()
+	}
+	if err := quick.Check(h, nil); err != nil {
 		t.Error(err)
 	}
 }
@@ -187,10 +221,10 @@ func main() {
 	f := p.Func("main")
 	gen, use := GenUse(p, f.Root)
 	// gen = {big, loc}: 100 + 1 = 101 words. use = {s}: 1 word.
-	if got := gen.Words(p, f); got != 101 {
+	if got := gen.Words(); got != 101 {
 		t.Errorf("gen words = %d, want 101", got)
 	}
-	if got := use.Words(p, f); got != 1 {
+	if got := use.Words(); got != 1 {
 		t.Errorf("use words = %d, want 1", got)
 	}
 }
@@ -236,7 +270,7 @@ func main() {
 	// Fig. 3 step 1: data to ship in = gen[C_pred] ∩ use[c].
 	_, use := GenUse(p, mid)
 	in := genPred.Intersect(use)
-	if got := in.Words(p, f); got != 8+1 && got != 8 { // in[] plus possibly i
+	if got := in.Words(); got != 8+1 && got != 8 { // in[] plus possibly i
 		t.Errorf("inbound words = %d, want 8 or 9", got)
 	}
 }
@@ -333,8 +367,8 @@ func TestGenUseDisjointTempInvariant(t *testing.T) {
 		p := build(t, src)
 		for _, r := range p.Regions() {
 			gen, use := GenUse(p, r)
-			for _, s := range []Set{gen, use} {
-				for k := range s {
+			for _, s := range []BitSet{gen, use} {
+				for _, k := range s.Keys() {
 					if !k.Global && r.Func.Locals[k.ID].Temp {
 						t.Errorf("%s: temp %s in gen/use of %s", src,
 							r.Func.Locals[k.ID].Name, r.Label)

@@ -27,7 +27,8 @@ func VerifyGenUse(p *cdfg.Program, r *cdfg.Region) error {
 	fail := func(format string, args ...any) error {
 		return fmt.Errorf("dataflow: verify: region %s gen/use: %s", r.Label, fmt.Sprintf(format, args...))
 	}
-	gen, use := GenUse(p, r)
+	ix := NewIndex(p, r.Func)
+	gen, use := GenUseOn(ix, r)
 	f := r.Func
 	name := func(k Key) string {
 		if k.Global {
@@ -37,7 +38,7 @@ func VerifyGenUse(p *cdfg.Program, r *cdfg.Region) error {
 	}
 
 	// Direct enumeration of writes and reads, ignoring order.
-	writes, reads := NewSet(), NewSet()
+	writes, reads := ix.NewBitSet(), ix.NewBitSet()
 	for _, op := range r.Ops() {
 		for _, u := range op.Uses() {
 			reads.Add(keyOfVar(u))
@@ -53,7 +54,7 @@ func VerifyGenUse(p *cdfg.Program, r *cdfg.Region) error {
 	}
 
 	for _, k := range gen.Keys() {
-		if isTemp(k, p, f) {
+		if ix.IsTemp(ix.IndexOf(k)) {
 			return fail("gen leaks compiler temporary %s", name(k))
 		}
 		if !writes.Contains(k) {
@@ -61,12 +62,12 @@ func VerifyGenUse(p *cdfg.Program, r *cdfg.Region) error {
 		}
 	}
 	for _, k := range writes.Keys() {
-		if !isTemp(k, p, f) && !gen.Contains(k) {
+		if !ix.IsTemp(ix.IndexOf(k)) && !gen.Contains(k) {
 			return fail("%s is written but missing from gen", name(k))
 		}
 	}
 	for _, k := range use.Keys() {
-		if isTemp(k, p, f) {
+		if ix.IsTemp(ix.IndexOf(k)) {
 			return fail("use leaks compiler temporary %s", name(k))
 		}
 		if !reads.Contains(k) {
@@ -76,19 +77,19 @@ func VerifyGenUse(p *cdfg.Program, r *cdfg.Region) error {
 
 	// Upward-exposure spot check on the entry block.
 	entry := f.Block(r.Entry)
-	written := NewSet()
+	written := ix.NewBitSet()
 	for i := range entry.Ops {
 		op := &entry.Ops[i]
 		for _, u := range op.Uses() {
-			k := keyOfVar(u)
-			if !written.Contains(k) && !isTemp(k, p, f) && !use.Contains(k) {
-				return fail("entry block reads %s before any write but use omits it", name(k))
+			ki := ix.IndexOf(keyOfVar(u))
+			if !written.ContainsIndex(ki) && !ix.IsTemp(ki) && !use.ContainsIndex(ki) {
+				return fail("entry block reads %s before any write but use omits it", name(ix.KeyOf(ki)))
 			}
 		}
 		if op.Code == cdfg.Load {
-			k := keyOfArr(op.Arr)
-			if !isTemp(k, p, f) && !use.Contains(k) {
-				return fail("entry block loads %s but use omits it", name(k))
+			ki := ix.IndexOf(keyOfArr(op.Arr))
+			if !ix.IsTemp(ki) && !use.ContainsIndex(ki) {
+				return fail("entry block loads %s but use omits it", name(ix.KeyOf(ki)))
 			}
 		}
 		if op.Code != cdfg.Store {

@@ -38,6 +38,7 @@ import (
 	"lppart/internal/cache"
 	"lppart/internal/cdfg"
 	"lppart/internal/explore"
+	"lppart/internal/memostore"
 	"lppart/internal/partition"
 	"lppart/internal/system"
 	"lppart/internal/tech"
@@ -63,6 +64,12 @@ type Config struct {
 	// enumeration) — the differential-testing oracle for the bound's
 	// admissibility and the denominator of the pruning-rate measurements.
 	DisableBound bool
+	// Store, when non-nil, persists the measurement phase (profile,
+	// baseline, geometry sweep) content-addressed by the program
+	// fingerprint: a warm run skips the interpreter, the ISS and the
+	// sweep entirely and produces a byte-identical frontier. Verify mode
+	// bypasses the store — an audit must exercise the full live flow.
+	Store *memostore.Store
 	// OnProgress, when set, is called after each geometry finishes with
 	// (completed, total) counts. It may be called concurrently.
 	OnProgress func(done, total int)
@@ -170,16 +177,6 @@ func Explore(ctx context.Context, ir *cdfg.Program, cfg Config) (*Frontier, erro
 		}
 	}
 
-	// Measure once: profiling run, initial all-software design on the
-	// anchor geometry, and the geometry-independent reference trace.
-	ev, base, err := system.MeasureInitialCtx(ctx, ir, cfg.Sys)
-	if err != nil {
-		return nil, err
-	}
-	tr, err := system.RecordTraceCtx(ctx, ir, cfg.Sys)
-	if err != nil {
-		return nil, err
-	}
 	lib := cfg.Sys.Part.Lib
 	if lib == nil {
 		lib = tech.Default()
@@ -192,18 +189,55 @@ func Explore(ctx context.Context, ir *cdfg.Program, cfg Config) (*Frontier, erro
 		anchorD = cache.DefaultDCache()
 	}
 	pairs := append([][2]cache.Config{{anchorI, anchorD}}, geoms...)
-	reps, err := tr.SweepParallel(pairs, lib, cfg.Workers)
-	if err != nil {
-		return nil, fmt.Errorf("dse: geometry sweep: %w", err)
+
+	// Measure once: profiling run, then ONE ISS execution of the initial
+	// all-software design on the anchor geometry with the trace recorder
+	// teed into the memory system, yielding both the measured baseline and
+	// the geometry-independent reference trace. With a store attached, a
+	// previous run's measurement is replayed instead (bit-identical
+	// records, so the frontier is byte-identical to a cold run's).
+	useStore := cfg.Store != nil && !cfg.Sys.Part.Verify
+	var fp [32]byte
+	if useStore {
+		fp = fingerprint(ir, &cfg, anchorI, anchorD, lib)
 	}
-	anchor, reps := reps[0], reps[1:]
+	var m *measurement
+	if useStore {
+		m = loadMeasurement(cfg.Store, fp, pairs, lib)
+	}
+	if m == nil {
+		ev, base, tr, err := system.MeasureAndRecordCtx(ctx, ir, cfg.Sys)
+		if err != nil {
+			return nil, err
+		}
+		reps, err := tr.SweepParallel(pairs, lib, cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("dse: geometry sweep: %w", err)
+		}
+		m = &measurement{
+			emup:       ev.Initial.EMuP,
+			initCycles: ev.Initial.TotalCycles(),
+			base:       base,
+			prof:       ev.Profile,
+			reps:       reps,
+		}
+		if useStore {
+			storeMeasurement(cfg.Store, fp, pairs, m)
+		}
+	}
+	anchor, reps := m.reps[0], m.reps[1:]
+	base := m.base
 
 	// One evaluator — one schedule/binding memo — for every geometry and
-	// subtree.
-	pe, err := partition.NewEvaluator(ir, ev.Profile, cfg.Sys.Part)
+	// subtree, wrapped in a delta evaluator: geometries differ only in
+	// their baseline, so after the first geometry decomposes a (cluster,
+	// resource set) pair, every other geometry re-runs just the cheap
+	// baseline-dependent price tail.
+	pe, err := partition.NewEvaluator(ir, m.prof, cfg.Sys.Part)
 	if err != nil {
 		return nil, err
 	}
+	de := partition.NewDeltaEvaluator(pe)
 	pcfg := pe.Config()
 
 	total := len(geoms)
@@ -213,10 +247,10 @@ func Explore(ctx context.Context, ir *cdfg.Program, cfg Config) (*Frontier, erro
 		// measurement: swap the memory subsystem's energy for the swept
 		// one, and shift cycles by the stall delta between geometries.
 		gbase := &partition.Baseline{
-			MuPEnergy:          ev.Initial.EMuP,
+			MuPEnergy:          m.emup,
 			RestEnergy:         reps[gi].Total(),
-			TotalEnergy:        ev.Initial.EMuP + reps[gi].Total(),
-			TotalCycles:        ev.Initial.TotalCycles() - anchor.Stalls + reps[gi].Stalls,
+			TotalEnergy:        m.emup + reps[gi].Total(),
+			TotalCycles:        m.initCycles - anchor.Stalls + reps[gi].Stalls,
 			Regions:            base.Regions,
 			Micro:              base.Micro,
 			ICacheAccessEnergy: g[0].AccessEnergy(lib.Cache),
@@ -224,7 +258,7 @@ func Explore(ctx context.Context, ir *cdfg.Program, cfg Config) (*Frontier, erro
 		if gbase.TotalCycles < 1 {
 			gbase.TotalCycles = 1
 		}
-		res, err := searchGeometry(ctx, pe, gbase, g, &cfg)
+		res, err := searchGeometry(ctx, de, gbase, g, &cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -285,21 +319,22 @@ type geoResult struct {
 
 // searchGeometry runs the serial branch-and-bound over (cluster subset ×
 // per-cluster resource set) for one cache geometry.
-func searchGeometry(ctx context.Context, pe *partition.Evaluator, gbase *partition.Baseline,
+func searchGeometry(ctx context.Context, de *partition.DeltaEvaluator, gbase *partition.Baseline,
 	g [2]cache.Config, cfg *Config) (*geoResult, error) {
+	pe := de.Evaluator()
 	all, pool := pe.Candidates(gbase)
 	pcfg := pe.Config()
 	ns := len(pcfg.ResourceSets)
 	res := &geoResult{}
 
-	mupE, restE := float64(gbase.MuPEnergy), float64(gbase.RestEnergy)
-	t0 := gbase.TotalCycles
 	iAcc := float64(gbase.ICacheAccessEnergy)
+	t0 := gbase.TotalCycles
 
 	// Evaluate the (cluster, resource set) grid against this geometry's
-	// baseline. The evaluator memoizes the schedule/binding across
-	// geometries, so only the first geometry pays Fig. 1 lines 8-10 here;
-	// every other geometry recomputes just the objective arithmetic.
+	// baseline. The delta evaluator memoizes both the schedule/binding
+	// and the baseline-independent term decomposition across geometries,
+	// so only the first geometry pays Fig. 1 lines 8-10 here; every other
+	// geometry re-runs just the baseline-dependent price tail.
 	// Branching is restricted to picks that pass the Fig. 1 acceptance
 	// test (eligible AND OF below the all-software objective): that keeps
 	// every point's decision trail auditable — AuditDecision requires
@@ -309,7 +344,7 @@ func searchGeometry(ctx context.Context, pe *partition.Evaluator, gbase *partiti
 	for j := range pool {
 		evals[j] = make([]*partition.SetEval, ns)
 		for si := 0; si < ns; si++ {
-			e, err := pe.Eval(gbase, pool[j], si, false, false)
+			e, err := de.Eval(gbase, pool[j], si, false, false)
 			if err != nil {
 				return nil, err
 			}
@@ -407,42 +442,27 @@ func searchGeometry(ctx context.Context, pe *partition.Evaluator, gbase *partiti
 		front = append(kept, p)
 	}
 
-	// node state travels functionally down the DFS: the accumulators are
-	// summed in path order, so every configuration's floats are computed
-	// by one fixed expression tree regardless of search schedule.
-	clamp := func(saved, easic float64, instrs, cycDelta int64, geq int) obj {
-		mu := mupE - saved
-		if mu < 0 {
-			mu = 0
-		}
-		rest := restE - float64(instrs)*iAcc
-		if rest < 0 {
-			rest = 0
-		}
-		c := t0 + cycDelta
-		if c < 1 {
-			c = 1
-		}
-		return obj{e: mu + easic + rest, c: c, g: geq}
+	// Configuration state lives in a partition.Priced: the DFS's
+	// parent→child edges are one-cluster splices (Add on descend, Remove
+	// on return restores the exact parent snapshot), so every
+	// configuration's floats are computed by the same path-order
+	// expression tree as passing the accumulators down functionally.
+	pr := partition.NewPriced(gbase)
+	point := func() obj {
+		e, c, g := pr.Point()
+		return obj{e: e, c: c, g: g}
 	}
 	// bounded reports whether no extension drawing clusters from pool[i:]
 	// can reach a non-dominated point. The bound under-approximates every
 	// reachable objective (clamping only raises the real values), so a
 	// dominated bound proves the whole subtree dominated — admissible
 	// pruning, verified differentially against DisableBound.
-	bounded := func(saved, easic float64, instrs, cycDelta int64, geq, i int) bool {
+	bounded := func(i int) bool {
 		if cfg.DisableBound {
 			return false
 		}
-		elb := mupE - saved + easic + restE - float64(instrs)*iAcc - sufE[i]
-		if elb < 0 {
-			elb = 0
-		}
-		clb := t0 + cycDelta - sufC[i]
-		if clb < 1 {
-			clb = 1
-		}
-		return dominated(obj{e: elb, c: clb, g: geq + sufG[i]})
+		e, c, g := pr.LowerBound(sufE[i], sufC[i], sufG[i])
+		return dominated(obj{e: e, c: c, g: g})
 	}
 
 	type pathEl struct {
@@ -474,7 +494,7 @@ func searchGeometry(ctx context.Context, pe *partition.Evaluator, gbase *partiti
 			}
 			key += fmt.Sprintf("|r%ds%d", picks[i].Region, el.si)
 		}
-		base := float64(mupE + restE)
+		base := pr.MuPE + pr.RestE
 		res.points = append(res.points, Point{
 			ICache: g[0], DCache: g[1], Clusters: picks,
 			Energy: units.Energy(o.e), Cycles: o.c, GEQ: o.g,
@@ -487,10 +507,10 @@ func searchGeometry(ctx context.Context, pe *partition.Evaluator, gbase *partiti
 
 	// The empty subset — pure cache tuning, no hardware — is a valid
 	// configuration and seeds the pruning frontier.
-	record(clamp(0, 0, 0, 0, 0))
+	record(point())
 
-	var walk func(i int, saved, easic float64, instrs, cycDelta int64, geq int) error
-	walk = func(i int, saved, easic float64, instrs, cycDelta int64, geq int) error {
+	var walk func(i int) error
+	walk = func(i int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -500,7 +520,7 @@ func searchGeometry(ctx context.Context, pe *partition.Evaluator, gbase *partiti
 		for j := i; j < len(pool); j++ {
 			// The bound tightens as j advances (the suffix shrinks), so
 			// one dominated bound cuts the rest of this level too.
-			if bounded(saved, easic, instrs, cycDelta, geq, j) {
+			if bounded(j) {
 				res.pruned++
 				return nil
 			}
@@ -510,22 +530,19 @@ func searchGeometry(ctx context.Context, pe *partition.Evaluator, gbase *partiti
 			for _, si := range viable[j] {
 				ev := evals[j][si]
 				res.configs++
-				s2 := saved + float64(ev.EMuPSaved)
-				a2 := easic + float64(ev.EASIC)
-				in2 := instrs + pool[j].MuP.Instrs
-				cd2 := cycDelta + (ev.EstCycles - t0)
-				g2 := geq + ev.GEQ
 				path = append(path, pathEl{j, si, ev})
-				record(clamp(s2, a2, in2, cd2, g2))
-				if err := walk(j+1, s2, a2, in2, cd2, g2); err != nil {
+				pr.Add(pool[j], ev)
+				record(point())
+				if err := walk(j + 1); err != nil {
 					return err
 				}
+				pr.Remove()
 				path = path[:len(path)-1]
 			}
 		}
 		return nil
 	}
-	if err := walk(0, 0, 0, 0, 0, 0); err != nil {
+	if err := walk(0); err != nil {
 		return nil, err
 	}
 

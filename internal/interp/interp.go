@@ -115,7 +115,33 @@ type machine struct {
 	globals [][]int32 // index parallel to prog.Globals; scalars are len-1
 	steps   int64
 	prof    *Profile
-	depth   int
+	// Dense profiling storage, parallel to prog.Funcs. The hot loop
+	// indexes these slabs by block/op ID; the public Profile maps are
+	// materialized once at the end of Run.
+	fnProf []fnProfile
+	fnIdx  map[*cdfg.Function]int
+	depth  int
+}
+
+// fnProfile is the dense per-function profiling slab: freq is indexed by
+// block ID, ops by op ID (op IDs are unique within a function).
+type fnProfile struct {
+	freq []int64
+	ops  []OpStat
+}
+
+// maxOpID returns the largest op ID in the function (op IDs are assigned
+// densely at build time, but scanning keeps corrupted IR safe).
+func maxOpID(f *cdfg.Function) int {
+	max := -1
+	for _, b := range f.Blocks {
+		for i := range b.Ops {
+			if b.Ops[i].ID > max {
+				max = b.Ops[i].ID
+			}
+		}
+	}
+	return max
 }
 
 // Run executes the program's main function.
@@ -136,12 +162,14 @@ func Run(p *cdfg.Program, opts Options) (*Result, error) {
 		m.globals[i] = make([]int32, n)
 	}
 	if opts.CollectProfile {
-		m.prof = &Profile{
-			BlockFreq: make(map[string][]int64),
-			Ops:       make(map[OpKey]*OpStat),
-		}
-		for _, f := range p.Funcs {
-			m.prof.BlockFreq[f.Name] = make([]int64, len(f.Blocks))
+		m.fnProf = make([]fnProfile, len(p.Funcs))
+		m.fnIdx = make(map[*cdfg.Function]int, len(p.Funcs))
+		for i, f := range p.Funcs {
+			m.fnProf[i] = fnProfile{
+				freq: make([]int64, len(f.Blocks)),
+				ops:  make([]OpStat, maxOpID(f)+1),
+			}
+			m.fnIdx[f] = i
 		}
 	}
 	main := p.Func("main")
@@ -151,6 +179,21 @@ func Run(p *cdfg.Program, opts Options) (*Result, error) {
 	ret, err := m.call(main, nil)
 	if err != nil {
 		return nil, err
+	}
+	if opts.CollectProfile {
+		m.prof = &Profile{
+			BlockFreq: make(map[string][]int64, len(p.Funcs)),
+			Ops:       make(map[OpKey]*OpStat),
+		}
+		for i, f := range p.Funcs {
+			m.prof.BlockFreq[f.Name] = m.fnProf[i].freq
+			ops := m.fnProf[i].ops
+			for id := range ops {
+				if ops[id].Count > 0 {
+					m.prof.Ops[OpKey{Func: f.Name, OpID: id}] = &ops[id]
+				}
+			}
+		}
 	}
 	res := &Result{Ret: ret, Steps: m.steps, Prof: m.prof,
 		Globals: make(map[string][]int32, len(p.Globals))}
@@ -166,6 +209,7 @@ func Run(p *cdfg.Program, opts Options) (*Result, error) {
 type frame struct {
 	fn     *cdfg.Function
 	locals [][]int32
+	prof   *fnProfile // nil unless profiling
 }
 
 func (m *machine) call(fn *cdfg.Function, args []int32) (int32, error) {
@@ -175,6 +219,9 @@ func (m *machine) call(fn *cdfg.Function, args []int32) (int32, error) {
 		return 0, &RuntimeError{Msg: fmt.Sprintf("call depth exceeds %d", m.opts.MaxDepth)}
 	}
 	fr := &frame{fn: fn, locals: make([][]int32, len(fn.Locals))}
+	if m.fnProf != nil {
+		fr.prof = &m.fnProf[m.fnIdx[fn]]
+	}
 	for i, l := range fn.Locals {
 		n := int32(1)
 		if l.IsArray() {
@@ -187,8 +234,8 @@ func (m *machine) call(fn *cdfg.Function, args []int32) (int32, error) {
 	}
 	blockID := fn.Entry
 	for {
-		if m.prof != nil {
-			m.prof.BlockFreq[fn.Name][blockID]++
+		if fr.prof != nil {
+			fr.prof.freq[blockID]++
 		}
 		b := fn.Block(blockID)
 		for i := range b.Ops {
@@ -236,15 +283,10 @@ func (m *machine) operand(fr *frame, o cdfg.Operand) int32 {
 // record updates the activity trace of op with this execution's operand
 // values.
 func (m *machine) record(fr *frame, op *cdfg.Op, a, b int32) {
-	if m.prof == nil {
+	if fr.prof == nil {
 		return
 	}
-	key := OpKey{Func: fr.fn.Name, OpID: op.ID}
-	st := m.prof.Ops[key]
-	if st == nil {
-		st = &OpStat{}
-		m.prof.Ops[key] = st
-	}
+	st := &fr.prof.ops[op.ID]
 	if st.seen {
 		st.togglesA += int64(bits.OnesCount32(uint32(st.prevA ^ a)))
 		st.togglesB += int64(bits.OnesCount32(uint32(st.prevB ^ b)))

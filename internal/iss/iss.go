@@ -173,7 +173,10 @@ func classOf(op isa.Opcode) tech.InstrClass {
 	}
 }
 
-var issToBinOp = map[isa.Opcode]behav.BinOp{
+// issToBinOp maps binary-ALU machine opcodes to their behavioral
+// semantics. A dense array: this lookup sits on the per-instruction hot
+// path of Run.
+var issToBinOp = [isa.NumOpcodes]behav.BinOp{
 	isa.ADD: behav.OpAdd, isa.SUB: behav.OpSub, isa.MUL: behav.OpMul,
 	isa.DIV: behav.OpDiv, isa.REM: behav.OpRem,
 	isa.AND: behav.OpAnd, isa.OR: behav.OpOr, isa.XOR: behav.OpXor,
@@ -197,13 +200,22 @@ func Run(p *isa.Program, opts Options) (*Result, error) {
 	regs[isa.SP] = int32(p.MemWords)
 
 	res := &Result{Regions: make(map[int]*RegionStat), Mem: mem}
-	regionStat := func(id int) *RegionStat {
-		s := res.Regions[id]
-		if s == nil {
-			s = &RegionStat{}
-			res.Regions[id] = s
+	// Dense per-region accumulators indexed by region ID + 1 (untagged
+	// instructions carry region -1). The public map is materialized at
+	// HALT; the per-instruction loop below never touches a map.
+	maxRegion := -1
+	for i := range p.Code {
+		if p.Code[i].Region > maxRegion {
+			maxRegion = p.Code[i].Region
 		}
-		return s
+	}
+	regStats := make([]RegionStat, maxRegion+2)
+	finish := func() {
+		for id := range regStats {
+			if regStats[id].Instrs > 0 {
+				res.Regions[id-1] = &regStats[id]
+			}
+		}
 	}
 
 	pc := p.Entry
@@ -219,6 +231,7 @@ func Run(p *isa.Program, opts Options) (*Result, error) {
 
 		if ins.Op == isa.HALT {
 			res.RV = regs[isa.RV]
+			finish()
 			return res, nil
 		}
 		if ins.Op == isa.ASIC {
@@ -310,15 +323,14 @@ func Run(p *isa.Program, opts Options) (*Result, error) {
 
 		res.Cycles += cycles
 		res.Energy += energy
-		for _, k := range micro.Uses[class] {
-			res.Active[k] += int64(micro.CyclesFor[class])
-		}
-		st := regionStat(ins.Region)
+		st := &regStats[ins.Region+1]
 		st.Instrs++
 		st.Cycles += cycles
 		st.Energy += energy
+		activeCycles := int64(micro.CyclesFor[class])
 		for _, k := range micro.Uses[class] {
-			st.Active[k] += int64(micro.CyclesFor[class])
+			res.Active[k] += activeCycles
+			st.Active[k] += activeCycles
 		}
 
 		pc = next

@@ -1,0 +1,449 @@
+// Package memostore is a persistent content-addressed memo: a chunked
+// on-disk append-log mapping canonical SHA-256 keys to byte values,
+// built from the standard library only. It backs the design-space
+// explorer's measurement/sweep memo and the lppartd result cache, so a
+// restarted process (or a fleet node sharing the directory read-only)
+// answers previously-computed requests without recomputing them.
+//
+// On-disk format: a directory of chunk files named chunk-NNNNNN.log,
+// each a sequence of records
+//
+//	magic   [4]byte  "lpm1"
+//	key     [32]byte SHA-256 of the canonical request encoding
+//	vlen    uvarint  value length in bytes
+//	value   [vlen]byte
+//	crc     [4]byte  little-endian IEEE CRC-32 over key+value
+//
+// Appends go to the highest-numbered chunk and rotate to a fresh chunk
+// past Options.ChunkBytes. Writers re-put a key by appending a newer
+// record; scan order (chunk number, then offset) makes the last record
+// win, so compaction is optional. A torn tail — a record cut short by a
+// crash — is detected on open, counted in Skipped, and never scanned
+// past; the opener starts a fresh chunk, so a corrupted tail can only
+// lose the records after the tear, never the store. Compact rewrites the
+// live records through a temp file and an atomic rename.
+package memostore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+var magic = [4]byte{'l', 'p', 'm', '1'}
+
+// Key is a canonical SHA-256 content address.
+type Key = [32]byte
+
+// Options configures Open.
+type Options struct {
+	// ReadOnly opens the store for Get only: no lock is required, no
+	// chunk is created, and Put returns ErrReadOnly. Several processes
+	// may share a directory read-only while one writer appends.
+	ReadOnly bool
+	// ChunkBytes rotates the append chunk past this size; <= 0 selects
+	// 4 MiB.
+	ChunkBytes int64
+}
+
+// ErrReadOnly is returned by Put on a read-only store.
+var ErrReadOnly = errors.New("memostore: store is read-only")
+
+// loc addresses one record's value bytes inside a chunk.
+type loc struct {
+	chunk int // index into Store.chunks
+	off   int64
+	vlen  int
+}
+
+// Store is a persistent content-addressed memo. Safe for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	dir      string
+	readOnly bool
+	maxChunk int64
+
+	chunks []*os.File // read handles, in scan (chunk-number) order
+	names  []string
+	active *os.File // append handle (nil when read-only)
+	actLen int64
+
+	index   map[Key]loc
+	skipped int64
+}
+
+// chunkName formats the n-th chunk's file name.
+func chunkName(n int) string { return fmt.Sprintf("chunk-%06d.log", n) }
+
+// Open opens (or creates) the store rooted at dir.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.ChunkBytes <= 0 {
+		opts.ChunkBytes = 4 << 20
+	}
+	if !opts.ReadOnly {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("memostore: %w", err)
+		}
+	}
+	s := &Store{
+		dir:      dir,
+		readOnly: opts.ReadOnly,
+		maxChunk: opts.ChunkBytes,
+		index:    make(map[Key]loc),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if opts.ReadOnly && os.IsNotExist(err) {
+			return s, nil // empty read-only view of a not-yet-created dir
+		}
+		return nil, fmt.Errorf("memostore: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "chunk-%06d.log", &n); err == nil {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	torn := false
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("memostore: %w", err)
+		}
+		ci := len(s.chunks)
+		s.chunks = append(s.chunks, f)
+		s.names = append(s.names, name)
+		tornHere, err := s.scanChunk(ci, f)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		torn = torn || tornHere
+	}
+	if !opts.ReadOnly {
+		if err := s.openActive(torn); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// scanChunk replays one chunk into the index. It returns whether the
+// chunk ends in a torn or corrupt record (counted in skipped); scanning
+// stops at the first bad record since nothing after it can be trusted.
+func (s *Store) scanChunk(ci int, f *os.File) (torn bool, err error) {
+	r := &countReader{r: f}
+	br := &byteReader{r: r}
+	for {
+		var m [4]byte
+		if _, err := io.ReadFull(r, m[:]); err != nil {
+			if err == io.EOF {
+				return false, nil // clean end
+			}
+			s.skipped++
+			return true, nil
+		}
+		if m != magic {
+			s.skipped++
+			return true, nil
+		}
+		var key Key
+		if _, err := io.ReadFull(r, key[:]); err != nil {
+			s.skipped++
+			return true, nil
+		}
+		vlen, err := binary.ReadUvarint(br)
+		if err != nil || vlen > 1<<31 {
+			s.skipped++
+			return true, nil
+		}
+		val := make([]byte, vlen)
+		valOff := r.n
+		if _, err := io.ReadFull(r, val); err != nil {
+			s.skipped++
+			return true, nil
+		}
+		var crcb [4]byte
+		if _, err := io.ReadFull(r, crcb[:]); err != nil {
+			s.skipped++
+			return true, nil
+		}
+		c := crc32.NewIEEE()
+		c.Write(key[:])
+		c.Write(val)
+		if binary.LittleEndian.Uint32(crcb[:]) != c.Sum32() {
+			s.skipped++
+			return true, nil
+		}
+		s.index[key] = loc{chunk: ci, off: valOff, vlen: int(vlen)}
+	}
+}
+
+// openActive prepares the append chunk: the highest existing chunk when
+// its tail is clean and under the rotation bound, a fresh chunk
+// otherwise (in particular after a torn tail — never append past a
+// tear).
+func (s *Store) openActive(torn bool) error {
+	next := 0
+	if n := len(s.names); n > 0 {
+		fmt.Sscanf(s.names[n-1], "chunk-%06d.log", &next)
+		next++
+		if !torn {
+			last := s.names[n-1]
+			st, err := os.Stat(filepath.Join(s.dir, last))
+			if err == nil && st.Size() < s.maxChunk {
+				f, err := os.OpenFile(filepath.Join(s.dir, last), os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					return fmt.Errorf("memostore: %w", err)
+				}
+				s.active = f
+				s.actLen = st.Size()
+				return nil
+			}
+		}
+	}
+	return s.newChunk(next)
+}
+
+// newChunk creates chunk n and makes it both scannable and active.
+func (s *Store) newChunk(n int) error {
+	name := chunkName(n)
+	path := filepath.Join(s.dir, name)
+	w, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("memostore: %w", err)
+	}
+	r, err := os.Open(path)
+	if err != nil {
+		w.Close()
+		return fmt.Errorf("memostore: %w", err)
+	}
+	if s.active != nil {
+		s.active.Close()
+	}
+	s.active = w
+	s.actLen = 0
+	s.chunks = append(s.chunks, r)
+	s.names = append(s.names, name)
+	return nil
+}
+
+// Get returns the newest value stored for key.
+func (s *Store) Get(key Key) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.index[key]
+	if !ok {
+		return nil, false, nil
+	}
+	val := make([]byte, l.vlen)
+	if _, err := s.chunks[l.chunk].ReadAt(val, l.off); err != nil {
+		return nil, false, fmt.Errorf("memostore: read %s: %w", s.names[l.chunk], err)
+	}
+	return val, true, nil
+}
+
+// Put appends a record for key; a later Get returns val. Re-putting a
+// key supersedes the previous record.
+func (s *Store) Put(key Key, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	if s.actLen >= s.maxChunk {
+		var next int
+		fmt.Sscanf(s.names[len(s.names)-1], "chunk-%06d.log", &next)
+		if err := s.newChunk(next + 1); err != nil {
+			return err
+		}
+	}
+	var hdr [4 + 32 + binary.MaxVarintLen64]byte
+	n := copy(hdr[:], magic[:])
+	n += copy(hdr[n:], key[:])
+	n += binary.PutUvarint(hdr[n:], uint64(len(val)))
+	c := crc32.NewIEEE()
+	c.Write(key[:])
+	c.Write(val)
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], c.Sum32())
+
+	rec := make([]byte, 0, n+len(val)+4)
+	rec = append(rec, hdr[:n]...)
+	rec = append(rec, val...)
+	rec = append(rec, crcb[:]...)
+	if _, err := s.active.Write(rec); err != nil {
+		return fmt.Errorf("memostore: append: %w", err)
+	}
+	valOff := s.actLen + int64(n)
+	s.actLen += int64(len(rec))
+	s.index[key] = loc{chunk: len(s.chunks) - 1, off: valOff, vlen: len(val)}
+	return nil
+}
+
+// Len returns the number of distinct keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Skipped returns how many corrupt or torn records open-time scanning
+// detected and skipped.
+func (s *Store) Skipped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.skipped
+}
+
+// Compact rewrites the live records (newest per key, in deterministic
+// key order) into a single fresh chunk via a temp file and an atomic
+// rename, then removes the superseded chunks. Crash-safe: a crash
+// before the rename leaves the old chunks untouched; a crash after it
+// leaves duplicates that the next open resolves by scan order.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	keys := make([]Key, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	})
+	var next int
+	if n := len(s.names); n > 0 {
+		fmt.Sscanf(s.names[n-1], "chunk-%06d.log", &next)
+		next++
+	}
+	tmp := filepath.Join(s.dir, "compact.tmp")
+	w, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("memostore: compact: %w", err)
+	}
+	for _, k := range keys {
+		l := s.index[k]
+		val := make([]byte, l.vlen)
+		if _, err := s.chunks[l.chunk].ReadAt(val, l.off); err != nil {
+			w.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("memostore: compact read: %w", err)
+		}
+		var hdr [4 + 32 + binary.MaxVarintLen64]byte
+		n := copy(hdr[:], magic[:])
+		n += copy(hdr[n:], k[:])
+		n += binary.PutUvarint(hdr[n:], uint64(len(val)))
+		c := crc32.NewIEEE()
+		c.Write(k[:])
+		c.Write(val)
+		var crcb [4]byte
+		binary.LittleEndian.PutUint32(crcb[:], c.Sum32())
+		if _, err := w.Write(hdr[:n]); err == nil {
+			if _, err = w.Write(val); err == nil {
+				_, err = w.Write(crcb[:])
+			}
+		}
+		if err != nil {
+			w.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("memostore: compact write: %w", err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("memostore: compact sync: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("memostore: compact close: %w", err)
+	}
+	dst := filepath.Join(s.dir, chunkName(next))
+	if err := os.Rename(tmp, dst); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("memostore: compact rename: %w", err)
+	}
+	// Swap state over to the compacted chunk and delete the old ones.
+	old := s.names[:len(s.names):len(s.names)]
+	for _, f := range s.chunks {
+		f.Close()
+	}
+	if s.active != nil {
+		s.active.Close()
+		s.active = nil
+	}
+	s.chunks, s.names = nil, nil
+	s.index = make(map[Key]loc, len(keys))
+	r, err := os.Open(dst)
+	if err != nil {
+		return fmt.Errorf("memostore: compact reopen: %w", err)
+	}
+	s.chunks = append(s.chunks, r)
+	s.names = append(s.names, chunkName(next))
+	if _, err := s.scanChunk(0, r); err != nil {
+		return err
+	}
+	for _, name := range old {
+		os.Remove(filepath.Join(s.dir, name))
+	}
+	return s.openActive(false)
+}
+
+// Close releases all file handles. The store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, f := range s.chunks {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.active != nil {
+		if err := s.active.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.chunks, s.active = nil, nil
+	return first
+}
+
+// countReader counts consumed bytes so scanChunk knows record offsets.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// byteReader adapts countReader for binary.ReadUvarint without
+// double-buffering (a bufio.Reader would desynchronize the count).
+type byteReader struct{ r *countReader }
+
+func (b *byteReader) ReadByte() (byte, error) {
+	var one [1]byte
+	_, err := io.ReadFull(b.r, one[:])
+	return one[0], err
+}

@@ -240,6 +240,10 @@ func PartitionCtx(ctx context.Context, p *cdfg.Program, prof *interp.Profile, ba
 		return nil, err
 	}
 	cfg = e.cfg
+	// Rounds >= 2 revisit the same (cluster, resource set) pairs against a
+	// shifted baseline: the delta evaluator re-runs only the
+	// baseline-dependent price tail on the cached decomposition.
+	de := NewDeltaEvaluator(e)
 	dec := &Decision{BaselineOF: cfg.F}
 
 	// Steps 1-5: candidate enumeration, Fig. 3 traffic estimates and
@@ -283,7 +287,7 @@ func PartitionCtx(ctx context.Context, p *cdfg.Program, prof *interp.Profile, ba
 			}
 		}
 		results, err := explore.MapCtx(ctx, cfg.Workers, tasks, func(_ int, t gridTask) (*SetEval, error) {
-			return e.Eval(&round, t.c, t.si, t.prevHW, t.nextHW)
+			return de.Eval(&round, t.c, t.si, t.prevHW, t.nextHW)
 		})
 		if err != nil {
 			return nil, err // ctx cancellation or a Config.Verify violation
@@ -441,41 +445,69 @@ func scheduleBind(prof *interp.Profile, cfg Config, c *Candidate, rs *tech.Resou
 	return br
 }
 
-// evaluate runs the cheap half of Fig. 1 lines 8-13 for one (cluster,
-// resource set) pair on top of a (possibly memoized) schedule+binding:
-// eligibility, energy estimates and the objective function. prevHW/nextHW
-// enable Fig. 3's synergy discounts (steps 2/4) when the neighbouring
-// sibling cluster is already implemented in hardware.
-func evaluate(base *Baseline, cfg Config,
-	c *Candidate, rs *tech.ResourceSet, br *bindResult, prevHW, nextHW bool) *SetEval {
-	ev := &SetEval{RS: rs}
+// pairTerms is the baseline-independent decomposition of one (cluster,
+// resource set, synergy flags) evaluation: everything in Fig. 1 lines
+// 8-13 that does not read the (shifted or per-geometry) baseline. The
+// only baseline inputs to these terms are the µP model and its clock —
+// which every derived baseline shares with the measured one — so a
+// DeltaEvaluator can price the same terms against many baselines by
+// re-running just the cheap tail (price).
+type pairTerms struct {
+	err    error
+	reason string // for err, or a baseline-independent rejection
+	// rejected marks a line 9 / GEQ-budget rejection: the pair can never
+	// become eligible, against any baseline sharing the µP model.
+	rejected bool
+
+	binding      *asic.Binding
+	geq          int
+	uASIC, uMuP  float64
+	easic        units.Energy
+	eMuPSaved    units.Energy
+	mupCycles    int64
+	mupInstrs    int64
+	asicMuPCycle int64
+	// micro is the µP model the terms were derived with; pricing against
+	// a baseline with a different model requires fresh terms.
+	micro *tech.MicroprocessorSpec
+}
+
+// termsOf computes the baseline-independent half of Fig. 1 lines 8-13 on
+// top of a (possibly memoized) schedule+binding. prevHW/nextHW enable
+// Fig. 3's synergy discounts (steps 2/4) when the neighbouring sibling
+// cluster is already implemented in hardware.
+func termsOf(base *Baseline, cfg Config,
+	c *Candidate, rs *tech.ResourceSet, br *bindResult, prevHW, nextHW bool) *pairTerms {
+	t := &pairTerms{micro: base.Micro}
 	if br.err != nil {
-		ev.Err = br.err
-		ev.Reason = br.reason
-		return ev
+		t.err = br.err
+		t.reason = br.reason
+		return t
 	}
 	binding := br.binding
-	ev.Binding = binding
-	ev.GEQ = br.geq
-	ev.UASIC = br.uASIC
-	ev.UMuP = c.MuP.Utilization(base.Micro)
+	t.binding = binding
+	t.geq = br.geq
+	t.uASIC = br.uASIC
+	t.uMuP = c.MuP.Utilization(base.Micro)
 	if cfg.WeightedU {
 		// Apples to apples: when U_R is size-weighted, weight the µP
 		// side identically, so only the *relative* values matter — the
 		// paper's §3.4 argument for why weighting changes nothing.
-		ev.UMuP = weightedMuPUtilization(c.MuP, base.Micro, cfg.Lib)
+		t.uMuP = weightedMuPUtilization(c.MuP, base.Micro, cfg.Lib)
 	}
 
 	// Line 9: the cluster must utilize the ASIC core better than the µP.
-	if ev.UASIC <= ev.UMuP {
-		ev.Reason = fmt.Sprintf("U_ASIC %.3f <= U_µP %.3f", ev.UASIC, ev.UMuP)
-		return ev
+	if t.uASIC <= t.uMuP {
+		t.rejected = true
+		t.reason = fmt.Sprintf("U_ASIC %.3f <= U_µP %.3f", t.uASIC, t.uMuP)
+		return t
 	}
 	// Hardware budget (the factor-F rejection of too-expensive cores the
 	// paper describes for "trick").
-	if ev.GEQ > cfg.GEQBudget {
-		ev.Reason = fmt.Sprintf("hardware effort %d cells exceeds budget %d", ev.GEQ, cfg.GEQBudget)
-		return ev
+	if t.geq > cfg.GEQBudget {
+		t.rejected = true
+		t.reason = fmt.Sprintf("hardware effort %d cells exceeds budget %d", t.geq, cfg.GEQBudget)
+		return t
 	}
 
 	// Lines 11-12: energy estimates, with Fig. 3 steps 2/4 synergy.
@@ -493,17 +525,45 @@ func evaluate(base *Baseline, cfg Config,
 	syncEnergy := units.Energy(float64(c.Invocations)*syncCycles) *
 		base.Micro.BaseEnergy[tech.IClassStore]
 	transfers += syncEnergy
-	ev.EASIC = binding.EnergySelectionEstimate(cfg.Lib) + transfers
-	ev.EMuPSaved = c.MuP.Energy
+	t.easic = binding.EnergySelectionEstimate(cfg.Lib) + transfers
+	t.eMuPSaved = c.MuP.Energy
+	t.mupCycles = c.MuP.Cycles
+	t.mupInstrs = c.MuP.Instrs
 
 	// Execution-time estimate: µP sheds the cluster's cycles, gains the
 	// ASIC's (converted to µP clock) plus per-invocation transfer stalls.
-	asicMuPCycles := int64(float64(binding.NcycWeighted)*float64(binding.Clock)/float64(base.Micro.ClockPeriod)) +
+	t.asicMuPCycle = int64(float64(binding.NcycWeighted)*float64(binding.Clock)/float64(base.Micro.ClockPeriod)) +
 		int64(cfg.Lib.Memory.LatencyCycles)*int64(wIn+wOut)*c.Invocations +
 		syncCycles*c.Invocations
-	ev.EstCycles = base.TotalCycles - c.MuP.Cycles + asicMuPCycles
-	if ev.EstCycles < 1 {
-		ev.EstCycles = 1
+	return t
+}
+
+// price runs the baseline-dependent tail of Fig. 1 lines 8-13 — the only
+// arithmetic that reads the shifted/per-geometry baseline — writing the
+// evaluation into out (which is fully overwritten; a warm caller can
+// reuse one SetEval without allocating). The expression tree is the exact
+// tail of the original single-pass evaluation, so a priced SetEval is
+// byte-identical to a from-scratch one.
+func (t *pairTerms) price(base *Baseline, cfg Config, rs *tech.ResourceSet, out *SetEval) {
+	*out = SetEval{RS: rs}
+	if t.err != nil {
+		out.Err = t.err
+		out.Reason = t.reason
+		return
+	}
+	out.Binding = t.binding
+	out.GEQ = t.geq
+	out.UASIC = t.uASIC
+	out.UMuP = t.uMuP
+	if t.rejected {
+		out.Reason = t.reason
+		return
+	}
+	out.EASIC = t.easic
+	out.EMuPSaved = t.eMuPSaved
+	out.EstCycles = base.TotalCycles - t.mupCycles + t.asicMuPCycle
+	if out.EstCycles < 1 {
+		out.EstCycles = 1
 	}
 
 	// Line 13: objective function
@@ -511,19 +571,30 @@ func evaluate(base *Baseline, cfg Config,
 	// E_rest is refined by the fetch energy the removed instructions no
 	// longer draw from the i-cache (footnote 2's partition-dependent
 	// cache behaviour, in estimate form).
-	restAfter := base.RestEnergy - units.Energy(float64(c.MuP.Instrs))*base.ICacheAccessEnergy
+	restAfter := base.RestEnergy - units.Energy(float64(t.mupInstrs))*base.ICacheAccessEnergy
 	if restAfter < 0 {
 		restAfter = 0
 	}
-	eAfter := float64(base.MuPEnergy-ev.EMuPSaved) + float64(ev.EASIC) + float64(restAfter)
-	slowdown := float64(ev.EstCycles)/float64(base.TotalCycles) - 1
+	eAfter := float64(base.MuPEnergy-out.EMuPSaved) + float64(out.EASIC) + float64(restAfter)
+	slowdown := float64(out.EstCycles)/float64(base.TotalCycles) - 1
 	if slowdown < 0 {
 		slowdown = 0
 	}
-	ev.OF = cfg.F*eAfter/float64(base.TotalEnergy) +
-		cfg.HardwareWeight*float64(ev.GEQ)/float64(cfg.GEQBudget) +
+	out.OF = cfg.F*eAfter/float64(base.TotalEnergy) +
+		cfg.HardwareWeight*float64(out.GEQ)/float64(cfg.GEQBudget) +
 		cfg.TimeWeight*slowdown
-	ev.Eligible = true
+	out.Eligible = true
+}
+
+// evaluate runs the cheap half of Fig. 1 lines 8-13 for one (cluster,
+// resource set) pair on top of a (possibly memoized) schedule+binding:
+// eligibility, energy estimates and the objective function — the
+// decomposition (termsOf) followed by the baseline-dependent tail
+// (price).
+func evaluate(base *Baseline, cfg Config,
+	c *Candidate, rs *tech.ResourceSet, br *bindResult, prevHW, nextHW bool) *SetEval {
+	ev := &SetEval{}
+	termsOf(base, cfg, c, rs, br, prevHW, nextHW).price(base, cfg, rs, ev)
 	return ev
 }
 

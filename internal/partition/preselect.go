@@ -53,23 +53,24 @@ func (t Traffic) EffectiveWords(prevInHW, nextInHW bool) (in, out int) {
 // prev and next are the neighbouring sibling clusters (c_{i-1}, c_{i+1});
 // either may be nil.
 func EstimateTraffic(p *cdfg.Program, c *cdfg.Region, prev, next *cdfg.Region, lib *tech.Library) Traffic {
-	gen, use := dataflow.GenUse(p, c)
-	genPred, useSucc := dataflow.Surroundings(p, c)
+	ix := dataflow.NewIndex(p, c.Func)
+	gen, use := dataflow.GenUseOn(ix, c)
+	genPred, useSucc := dataflow.SurroundingsOn(ix, c)
 	f := c.Func
 
 	var t Traffic
 	// Step 1: N_Trans,µPcore->mem = |gen[C_pred] ∩ use[c_i]|.
-	t.WordsIn = genPred.Intersect(use).Words(p, f)
+	t.WordsIn = genPred.Intersect(use).Words()
 	// Step 3: N_Trans,ASICcore->mem = |gen[c_i] ∩ use[C_succ]|.
-	t.WordsOut = gen.Intersect(useSucc).Words(p, f)
+	t.WordsOut = gen.Intersect(useSucc).Words()
 	// Steps 2/4: synergy with neighbouring clusters.
 	if prev != nil && prev.Func == f {
-		genPrev, _ := dataflow.GenUse(p, prev)
-		t.SynergyIn = genPrev.Intersect(use).Words(p, f)
+		genPrev, _ := dataflow.GenUseOn(ix, prev)
+		t.SynergyIn = genPrev.Intersect(use).Words()
 	}
 	if next != nil && next.Func == f {
-		_, useNext := dataflow.GenUse(p, next)
-		t.SynergyOut = gen.Intersect(useNext).Words(p, f)
+		_, useNext := dataflow.GenUseOn(ix, next)
+		t.SynergyOut = gen.Intersect(useNext).Words()
 	}
 	// Step 5: each transferred word crosses the bus twice (producer
 	// writes shared memory, consumer reads it back).

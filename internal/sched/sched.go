@@ -26,6 +26,7 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"lppart/internal/cdfg"
 	"lppart/internal/tech"
@@ -109,6 +110,7 @@ func ScheduleRegion(cfg Config, r *cdfg.Region) (*RegionSchedule, error) {
 		return nil, fmt.Errorf("sched: config requires Lib and RS")
 	}
 	out := &RegionSchedule{Region: r, Config: cfg}
+	out.Blocks = make([]*BlockSchedule, 0, len(r.Blocks))
 	for _, bid := range r.Blocks {
 		bs, err := ScheduleBlock(cfg, r.Func, r.Func.Block(bid))
 		if err != nil {
@@ -129,70 +131,156 @@ type node struct {
 	preds    int // count of unscheduled predecessors
 	priority int // critical-path length to a sink
 	placed   bool
-	ready    bool
+}
+
+// slotKey identifies a scalar or array slot for dependence tracking.
+type slotKey struct {
+	global bool
+	id     int
+}
+
+// workspace is the reusable scratch state of one scheduling run: node and
+// occupancy slabs plus the dependence-tracking maps of buildDFG. Instances
+// are drawn from a sync.Pool, so steady-state ScheduleBlock calls allocate
+// only the BlockSchedule they return. Every field is reset before use, so
+// pooling cannot affect results.
+type workspace struct {
+	nodes    []node
+	order    []int
+	earliest []int
+	ready    []int
+	idxOf    []int32 // op position in block -> node index, -1 if unscheduled
+	// usage[kind][step] and memUse[step] track occupancy; usageHi is the
+	// first step beyond any recorded occupancy (the clear watermark).
+	usage   [tech.NumResourceKinds][]int16
+	memUse  []int16
+	usageHi int
+
+	lastDef    map[slotKey]int
+	lastUses   map[slotKey][]int
+	lastStore  map[slotKey]int
+	loadsSince map[slotKey][]int
+}
+
+var wsPool = sync.Pool{New: func() any {
+	return &workspace{
+		lastDef:    make(map[slotKey]int),
+		lastUses:   make(map[slotKey][]int),
+		lastStore:  make(map[slotKey]int),
+		loadsSince: make(map[slotKey][]int),
+	}
+}}
+
+// resetOccupancy prepares the step-indexed occupancy slabs for a block
+// whose schedule cannot exceed maxSteps control steps. Only the previously
+// dirtied prefix is cleared.
+func (ws *workspace) resetOccupancy(maxSteps int) {
+	need := maxSteps + 64 // headroom for multi-cycle ops past the last start
+	for k := range ws.usage {
+		if cap(ws.usage[k]) < need {
+			ws.usage[k] = make([]int16, need)
+			continue
+		}
+		u := ws.usage[k][:need]
+		for t := 0; t < ws.usageHi && t < len(u); t++ {
+			u[t] = 0
+		}
+		ws.usage[k] = u
+	}
+	if cap(ws.memUse) < need {
+		ws.memUse = make([]int16, need)
+	} else {
+		m := ws.memUse[:need]
+		for t := 0; t < ws.usageHi && t < len(m); t++ {
+			m[t] = 0
+		}
+		ws.memUse = m
+	}
+	ws.usageHi = 0
+}
+
+// note records that occupancy was written up to (but not including) step
+// end, so the next resetOccupancy clears exactly the dirty prefix.
+func (ws *workspace) note(end int) {
+	if end > ws.usageHi {
+		ws.usageHi = end
+	}
+}
+
+// The ready list sorts by priority (descending), breaking ties by block
+// position — the deterministic list-scheduling order. *workspace
+// implements sort.Interface over ws.ready so sorting does not allocate.
+func (ws *workspace) Len() int      { return len(ws.ready) }
+func (ws *workspace) Swap(i, j int) { ws.ready[i], ws.ready[j] = ws.ready[j], ws.ready[i] }
+func (ws *workspace) Less(i, j int) bool {
+	a, b := ws.ready[i], ws.ready[j]
+	if ws.nodes[a].priority != ws.nodes[b].priority {
+		return ws.nodes[a].priority > ws.nodes[b].priority
+	}
+	return ws.order[a] < ws.order[b]
 }
 
 // ScheduleBlock schedules the datapath operations of one block.
 func ScheduleBlock(cfg Config, f *cdfg.Function, b *cdfg.Block) (*BlockSchedule, error) {
-	nodes, order, err := buildDFG(cfg, b)
-	if err != nil {
+	ws := wsPool.Get().(*workspace)
+	defer wsPool.Put(ws)
+	if err := ws.buildDFG(cfg, b); err != nil {
 		return nil, err
 	}
+	nodes := ws.nodes
 	bs := &BlockSchedule{Block: b}
 	if len(nodes) == 0 {
 		bs.Len = 1
 		return bs, nil
 	}
 	computePriorities(nodes)
+	bs.Ops = make([]PlacedOp, 0, len(nodes))
 
-	// usage[kind][step] and memUse[step] track occupancy.
-	var usage [tech.NumResourceKinds]map[int]int
-	for k := range usage {
-		usage[k] = make(map[int]int)
-	}
-	memUse := make(map[int]int)
 	// kindUsedBefore[k] = true once any op has been placed on kind k
 	// (the "already instantiated in a previous control step" test).
 	var kindUsedBefore [tech.NumResourceKinds]bool
-	earliest := make([]int, len(nodes)) // data-ready step per node
+	maxSteps := 64 * (len(nodes) + 4) // generous upper bound; placement is guaranteed below
+	ws.resetOccupancy(maxSteps)
+	earliest := ws.earliest[:0]
+	for range nodes {
+		earliest = append(earliest, 0)
+	}
+	ws.earliest = earliest
 
 	scheduled := 0
 	step := 0
-	maxSteps := 64 * (len(nodes) + 4) // generous upper bound; placement is guaranteed below
 	for scheduled < len(nodes) && step < maxSteps {
 		// Collect ready ops: all preds done and data available by step.
-		var ready []int
+		ws.ready = ws.ready[:0]
 		for i := range nodes {
 			n := &nodes[i]
 			if !n.placed && n.preds == 0 && earliest[i] <= step {
-				ready = append(ready, i)
+				ws.ready = append(ws.ready, i)
 			}
 		}
-		sort.Slice(ready, func(a, b int) bool {
-			if nodes[ready[a]].priority != nodes[ready[b]].priority {
-				return nodes[ready[a]].priority > nodes[ready[b]].priority
-			}
-			return order[ready[a]] < order[ready[b]]
-		})
-		for _, i := range ready {
+		sort.Sort(ws)
+		for _, i := range ws.ready {
 			n := &nodes[i]
 			if n.mem {
-				if memUse[step] >= cfg.memPorts() {
+				if int(ws.memUse[step]) >= cfg.memPorts() {
 					continue
 				}
-				memUse[step]++
+				ws.memUse[step]++
+				ws.note(step + 1)
 				place(nodes, earliest, i, step, 1)
 				bs.Ops = append(bs.Ops, PlacedOp{Op: n.op, Class: n.class, Mem: true, Start: step, Dur: 1})
 				scheduled++
 				continue
 			}
-			kind, dur, ok := pickKind(cfg, n.class, step, usage, kindUsedBefore[:])
+			kind, dur, ok := pickKind(cfg, n.class, step, ws, kindUsedBefore[:])
 			if !ok {
 				continue // all capable kinds saturated this step
 			}
+			u := ws.ensure(kind, step+dur)
 			for t := step; t < step+dur; t++ {
-				usage[kind][t]++
+				u[t]++
 			}
+			ws.note(step + dur)
 			kindUsedBefore[kind] = true
 			place(nodes, earliest, i, step, dur)
 			bs.Ops = append(bs.Ops, PlacedOp{Op: n.op, Class: n.class, Kind: kind, Start: step, Dur: dur})
@@ -227,10 +315,24 @@ func place(nodes []node, earliest []int, i, start, dur int) {
 	}
 }
 
+// ensure grows kind k's occupancy slab to cover steps [0,end) and returns
+// it. The common path (builtin library, dur ≤ 64) never grows: the slabs
+// are sized with headroom in resetOccupancy.
+func (ws *workspace) ensure(k tech.ResourceKind, end int) []int16 {
+	u := ws.usage[k]
+	if end <= len(u) {
+		return u
+	}
+	nu := make([]int16, end+64)
+	copy(nu, u)
+	ws.usage[k] = nu
+	return nu
+}
+
 // pickKind selects the resource kind for an op of class c at the given
 // step: prefer a kind already used before (Fig. 4 lines 7-13), then the
 // smallest capable kind with spare capacity across the op's duration.
-func pickKind(cfg Config, c tech.OpClass, step int, usage [tech.NumResourceKinds]map[int]int, usedBefore []bool) (tech.ResourceKind, int, bool) {
+func pickKind(cfg Config, c tech.OpClass, step int, ws *workspace, usedBefore []bool) (tech.ResourceKind, int, bool) {
 	kinds := cfg.Lib.Executors(c) // sorted by GEQ ascending
 	try := func(k tech.ResourceKind) (int, bool) {
 		limit := cfg.RS.Limit(k)
@@ -238,8 +340,9 @@ func pickKind(cfg Config, c tech.OpClass, step int, usage [tech.NumResourceKinds
 			return 0, false
 		}
 		dur := cfg.Lib.Resource(k).OpCycles(c)
+		u := ws.ensure(k, step+dur)
 		for t := step; t < step+dur; t++ {
-			if usage[k][t] >= limit {
+			if int(u[t]) >= limit {
 				return 0, false
 			}
 		}
@@ -261,21 +364,19 @@ func pickKind(cfg Config, c tech.OpClass, step int, usage [tech.NumResourceKinds
 	return 0, 0, false
 }
 
-// buildDFG constructs the intra-block dependence graph. order[i] is the
-// op's position in the block, used as a deterministic tie-break.
-func buildDFG(cfg Config, b *cdfg.Block) ([]node, []int, error) {
-	type slotKey struct {
-		global bool
-		id     int
-	}
-	var nodes []node
-	var order []int
-	idxOf := make(map[int]int) // op position in block -> node index
+// buildDFG constructs the intra-block dependence graph into ws.nodes and
+// ws.order (order[i] is the op's position in the block, used as a
+// deterministic tie-break), reusing the workspace's slabs and maps.
+func (ws *workspace) buildDFG(cfg Config, b *cdfg.Block) error {
+	ws.nodes = ws.nodes[:0]
+	ws.order = ws.order[:0]
+	ws.idxOf = ws.idxOf[:0]
 
 	for pos := range b.Ops {
 		op := &b.Ops[pos]
 		class, ok := op.Code.Class()
 		if !ok {
+			ws.idxOf = append(ws.idxOf, -1)
 			continue // const, nop, control: not scheduled
 		}
 		// A multiply with a compile-time-constant operand synthesizes to
@@ -294,13 +395,25 @@ func buildDFG(cfg Config, b *cdfg.Block) ([]node, []int, error) {
 				}
 			}
 			if !feasible {
-				return nil, nil, &UnschedulableError{Op: op, Class: class, RSName: cfg.RS.Name}
+				return &UnschedulableError{Op: op, Class: class, RSName: cfg.RS.Name}
 			}
 		}
-		idxOf[pos] = len(nodes)
-		nodes = append(nodes, node{op: op, class: class, mem: mem})
-		order = append(order, pos)
+		ws.idxOf = append(ws.idxOf, int32(len(ws.nodes)))
+		// Reuse a retired node slot when one is available so its succs
+		// slice keeps its capacity across blocks.
+		if len(ws.nodes) < cap(ws.nodes) {
+			ws.nodes = ws.nodes[:len(ws.nodes)+1]
+			n := &ws.nodes[len(ws.nodes)-1]
+			n.op, n.class, n.mem = op, class, mem
+			n.succs = n.succs[:0]
+			n.dur, n.preds, n.priority = 0, 0, 0
+			n.placed = false
+		} else {
+			ws.nodes = append(ws.nodes, node{op: op, class: class, mem: mem})
+		}
+		ws.order = append(ws.order, pos)
 	}
+	nodes := ws.nodes
 
 	addEdge := func(from, to int) {
 		if from == to {
@@ -316,16 +429,20 @@ func buildDFG(cfg Config, b *cdfg.Block) ([]node, []int, error) {
 		nodes[to].preds++
 	}
 
-	lastDef := make(map[slotKey]int) // node index of last writer
-	lastUses := make(map[slotKey][]int)
-	lastStore := make(map[slotKey]int)
-	loadsSince := make(map[slotKey][]int)
+	lastDef := ws.lastDef // node index of last writer
+	lastUses := ws.lastUses
+	lastStore := ws.lastStore
+	loadsSince := ws.loadsSince
+	clear(lastDef)
+	clear(lastUses)
+	clear(lastStore)
+	clear(loadsSince)
 	// Values defined by unscheduled ops (consts) are always available;
 	// values from scheduled ops create RAW edges. Walk ops in block
 	// order, consulting only scheduled (node-mapped) producers.
 	for pos := range b.Ops {
 		op := &b.Ops[pos]
-		ni, isNode := idxOf[pos]
+		ni, isNode := int(ws.idxOf[pos]), ws.idxOf[pos] >= 0
 		// Reads.
 		for _, u := range op.Uses() {
 			k := slotKey{u.Global, u.ID}
@@ -393,7 +510,7 @@ func buildDFG(cfg Config, b *cdfg.Block) ([]node, []int, error) {
 		}
 		n.dur = best
 	}
-	return nodes, order, nil
+	return nil
 }
 
 // computePriorities assigns each node its critical-path length to a sink

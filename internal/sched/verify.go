@@ -61,10 +61,12 @@ func verifyBlock(cfg Config, rs *RegionSchedule, bs *BlockSchedule) error {
 			rs.Region.Label, bs.Block.ID, fmt.Sprintf(format, args...))
 	}
 	// Re-derive the dependence graph the scheduler used.
-	nodes, _, err := buildDFG(cfg, bs.Block)
-	if err != nil {
+	ws := wsPool.Get().(*workspace)
+	defer wsPool.Put(ws)
+	if err := ws.buildDFG(cfg, bs.Block); err != nil {
 		return fail("dependence graph: %v", err)
 	}
+	nodes := ws.nodes
 	if len(bs.Ops) != len(nodes) {
 		return fail("%d ops placed, %d schedulable", len(bs.Ops), len(nodes))
 	}

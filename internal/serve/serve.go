@@ -23,6 +23,7 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -32,6 +33,7 @@ import (
 	"lppart/internal/behav"
 	"lppart/internal/cache"
 	"lppart/internal/cdfg"
+	"lppart/internal/memostore"
 	"lppart/internal/serve/jobs"
 	"lppart/internal/serve/metrics"
 	"lppart/internal/system"
@@ -61,6 +63,14 @@ type Config struct {
 	// holds an unfinished job, new POST /v1/explore requests are shed
 	// with 429 (default 64).
 	MaxJobs int
+	// Store, when non-nil, persistently backs the result cache:
+	// successful (200) bodies are written through to the
+	// content-addressed store and replayed verbatim on a hit, so a
+	// restarted daemon — or a fleet node sharing the directory read-only
+	// — answers previously-computed requests byte-identically without
+	// recomputing them. Non-200 outcomes are never persisted, mirroring
+	// the in-memory cache's rule.
+	Store *memostore.Store
 }
 
 func (c *Config) defaults() {
@@ -235,6 +245,13 @@ func writeResult(w http.ResponseWriter, res *flightResult) {
 	w.Write(res.body)
 }
 
+// storeKey maps a canonical request hash to its content address in the
+// persistent result store. The prefix versions the stored schema: bump
+// it if response bodies ever change shape for the same request.
+func storeKey(key string) memostore.Key {
+	return sha256.Sum256([]byte("lppartd/result/v1\x00" + key))
+}
+
 // jsonBody marshals a response body the one canonical way (compact
 // encoding/json + trailing newline); both the cached and the computed
 // path serve exactly these bytes.
@@ -284,6 +301,19 @@ func (s *Server) serveKey(w http.ResponseWriter, r *http.Request, endpoint, key 
 		s.observe(endpoint, "cache_hit", start)
 		return
 	}
+	// The persistent store is the second cache tier: a hit replays the
+	// stored bytes verbatim (and warms the LRU); a read error degrades to
+	// a recompute, never to a failed request.
+	if s.cfg.Store != nil {
+		if body, ok, err := s.cfg.Store.Get(storeKey(key)); err == nil && ok {
+			s.cacheHit.Inc()
+			s.cacheEvic.Add(int64(s.cache.add(key, &cachedBody{status: http.StatusOK, body: body})))
+			res := &flightResult{status: http.StatusOK, body: body, cacheHit: true}
+			writeResult(w, res)
+			s.observe(endpoint, "cache_hit", start)
+			return
+		}
+	}
 	s.cacheMiss.Inc()
 	waitCtx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
@@ -308,6 +338,12 @@ func (s *Server) serveKey(w http.ResponseWriter, r *http.Request, endpoint, key 
 			// Only successes warm the cache; sheds and failures must
 			// not mask a later, healthier attempt.
 			s.cacheEvic.Add(int64(s.cache.add(key, &cachedBody{status: res.status, body: res.body})))
+			if s.cfg.Store != nil {
+				// Write errors (including ErrReadOnly on fleet nodes)
+				// are deliberately swallowed: persistence accelerates,
+				// it must never fail a served request.
+				_ = s.cfg.Store.Put(storeKey(key), res.body)
+			}
 		}
 		return res
 	})
@@ -433,4 +469,3 @@ func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
 	writeResult(w, &flightResult{status: http.StatusOK, body: jsonBody(&resp)})
 	s.observe("apps", "ok", start)
 }
-

@@ -127,10 +127,41 @@ func (m *memSys) FetchInstr(byteAddr uint32) int { return m.ic.Access(int32(byte
 func (m *memSys) ReadData(addr int32) int        { return m.dc.Access(addr, false) }
 func (m *memSys) WriteData(addr int32) int       { return m.dc.Access(addr, true) }
 
+// teeMemSys simulates the caches AND records the reference trace in one
+// pass. The recorder sees exactly the access sequence a dedicated
+// recording run would (the sequence is a pure function of the program),
+// so measurement and trace capture share a single ISS execution.
+type teeMemSys struct {
+	ms  *memSys
+	rec *trace.Recorder
+}
+
+func (t *teeMemSys) FetchInstr(byteAddr uint32) int {
+	t.rec.FetchInstr(byteAddr)
+	return t.ms.FetchInstr(byteAddr)
+}
+
+func (t *teeMemSys) ReadData(addr int32) int {
+	t.rec.ReadData(addr)
+	return t.ms.ReadData(addr)
+}
+
+func (t *teeMemSys) WriteData(addr int32) int {
+	t.rec.WriteData(addr)
+	return t.ms.WriteData(addr)
+}
+
 // runDesign executes one compiled program against fresh cache/memory/bus
 // cores and collects the per-core accounting.
 func runDesign(name string, mp *isaProgram, cfg *Config, handler iss.ASICHandler,
 	micro *tech.MicroprocessorSpec) (*Design, *bus.Bus, *mem.Memory, error) {
+	return runDesignRec(name, mp, cfg, handler, micro, nil)
+}
+
+// runDesignRec is runDesign with an optional trace recorder teed into the
+// memory system.
+func runDesignRec(name string, mp *isaProgram, cfg *Config, handler iss.ASICHandler,
+	micro *tech.MicroprocessorSpec, rec *trace.Recorder) (*Design, *bus.Bus, *mem.Memory, error) {
 	lib := cfg.Part.Lib
 	b := bus.New(lib)
 	m := mem.New(lib)
@@ -144,9 +175,13 @@ func runDesign(name string, mp *isaProgram, cfg *Config, handler iss.ASICHandler
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	var sys iss.MemSystem = &memSys{ic: ic, dc: dc}
+	if rec != nil {
+		sys = &teeMemSys{ms: sys.(*memSys), rec: rec}
+	}
 	res, err := iss.Run(mp.prog, iss.Options{
 		Micro:     micro,
-		Mem:       &memSys{ic: ic, dc: dc},
+		Mem:       sys,
 		ASIC:      handler,
 		MaxInstrs: cfg.MaxInstrs,
 	})
@@ -244,6 +279,25 @@ func EvaluateIR(ir *cdfg.Program, cfg Config) (*Evaluation, error) {
 // explorer continues into a branch-and-bound search instead, but judges
 // every configuration against this same measured baseline.
 func MeasureInitialCtx(ctx context.Context, ir *cdfg.Program, cfg Config) (*Evaluation, *partition.Baseline, error) {
+	return measureCtx(ctx, ir, cfg, nil)
+}
+
+// MeasureAndRecordCtx is MeasureInitialCtx with a trace recorder teed into
+// the initial design's memory system: one compile and one ISS execution
+// yield both the measured baseline and the full memory-reference trace,
+// replacing the separate MeasureInitialCtx + RecordTraceCtx passes. The
+// recorded trace is byte-identical to RecordTraceCtx's — the access
+// sequence does not depend on the observer.
+func MeasureAndRecordCtx(ctx context.Context, ir *cdfg.Program, cfg Config) (*Evaluation, *partition.Baseline, *trace.Trace, error) {
+	rec := &trace.Recorder{}
+	ev, base, err := measureCtx(ctx, ir, cfg, rec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return ev, base, &rec.Trace, nil
+}
+
+func measureCtx(ctx context.Context, ir *cdfg.Program, cfg Config, rec *trace.Recorder) (*Evaluation, *partition.Baseline, error) {
 	cfg.defaults()
 	lib := cfg.Part.Lib
 	micro := &lib.Micro
@@ -268,7 +322,7 @@ func MeasureInitialCtx(ctx context.Context, ir *cdfg.Program, cfg Config) (*Eval
 	if err != nil {
 		return nil, nil, fmt.Errorf("system: compile: %w", err)
 	}
-	initial, _, _, err := runDesign("initial", &isaProgram{prog: full, lay: fullLay}, &cfg, nil, micro)
+	initial, _, _, err := runDesignRec("initial", &isaProgram{prog: full, lay: fullLay}, &cfg, nil, micro, rec)
 	if err != nil {
 		return nil, nil, fmt.Errorf("system: initial design: %w", err)
 	}
