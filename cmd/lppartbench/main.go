@@ -91,7 +91,7 @@ func main() {
 		}
 		srv := serve.New(serve.Config{Workers: *workers, QueueDepth: *queue, CacheEntries: *entries})
 		hs := &http.Server{Handler: srv.Handler()}
-		go hs.Serve(ln)
+		go hs.Serve(ln) //lint:err Serve returns ErrServerClosed on the deferred Close
 		defer hs.Close()
 		*url = "http://" + ln.Addr().String()
 	}
@@ -180,7 +180,7 @@ func main() {
 		fatal(err)
 	}
 	b = append(b, '\n')
-	os.Stdout.Write(b)
+	os.Stdout.Write(b) //lint:err stdout write, nothing to recover on failure
 	if *out != "-" {
 		if err := os.WriteFile(*out, b, 0o644); err != nil {
 			fatal(err)

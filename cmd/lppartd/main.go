@@ -114,7 +114,7 @@ func main() {
 	if err := hs.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "lppartd: grace period expired: %v\n", err)
 		srv.Abort()
-		hs.Close()
+		hs.Close() //lint:err already aborting, exit follows
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "lppartd: drained cleanly")

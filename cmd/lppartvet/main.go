@@ -1,12 +1,21 @@
 // Command lppartvet is the repo's invariant checker: a multichecker
-// hosting the custom static-analysis passes that keep the determinism
-// and dimensional-soundness contracts machine-checked (see
-// internal/analysis and its subpackages).
+// hosting the custom static-analysis passes that keep the determinism,
+// dimensional-soundness, zero-allocation and cancellation contracts
+// machine-checked (see internal/analysis and its subpackages).
+//
+// Since PR 8 the checker is interprocedural: every requested package is
+// loaded first, a whole-module call graph with per-function facts is
+// built over them, and each pass then runs with that shared program
+// view — so hotalloc can follow a hot root in internal/sched into
+// helpers in internal/cdfg.
 //
 // Usage:
 //
 //	lppartvet ./...              # whole repo (CI runs this on every push)
 //	lppartvet ./internal/...     # one subtree
+//	lppartvet -fix ./...         # apply suggested fixes in place
+//	lppartvet -sarif out.sarif ./...  # also write a SARIF 2.1.0 report
+//	lppartvet -facts ./internal/sched # dump per-function facts
 //	lppartvet -list              # describe the passes
 //
 // Exit status: 0 clean, 1 findings, 2 load/usage errors. Everything runs
@@ -20,23 +29,36 @@ import (
 	"os"
 
 	"lppart/internal/analysis"
+	"lppart/internal/analysis/ctxflow"
 	"lppart/internal/analysis/detrange"
+	"lppart/internal/analysis/errflow"
+	"lppart/internal/analysis/hotalloc"
 	"lppart/internal/analysis/nondetsource"
 	"lppart/internal/analysis/unitsafe"
 )
+
+// version identifies the checker in SARIF reports; bump with the pass
+// suite, not the module.
+const version = "2.0.0"
 
 // analyzers is the pass suite, in report order.
 var analyzers = []*analysis.Analyzer{
 	detrange.Analyzer,
 	nondetsource.Analyzer,
 	unitsafe.Analyzer,
+	hotalloc.Analyzer,
+	ctxflow.Analyzer,
+	errflow.Analyzer,
 }
 
 func main() {
 	list := flag.Bool("list", false, "describe the passes and exit")
+	fix := flag.Bool("fix", false, "apply suggested fixes to the source in place")
+	sarifOut := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to `file`")
+	facts := flag.Bool("facts", false, "dump the derived per-function facts instead of running passes")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: lppartvet [-list] [package patterns]\n\npasses:\n")
+			"usage: lppartvet [-list] [-fix] [-sarif file] [-facts] [package patterns]\n\npasses:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
 		}
@@ -78,26 +100,88 @@ func main() {
 		}
 	}
 
-	findings := 0
+	// Load everything first, then build one shared program so the
+	// interprocedural passes see cross-package call edges.
+	var pkgs []*analysis.Package
 	for _, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
 			fatal(err)
 		}
+		pkgs = append(pkgs, pkg)
+	}
+	prog := analysis.BuildProgram(pkgs)
+
+	if *facts {
+		dumpFacts(prog)
+		return
+	}
+
+	var all []analysis.Diagnostic
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			diags, err := analysis.Run(a, pkg)
+			diags, err := analysis.RunWithProgram(a, pkg, prog)
 			if err != nil {
 				fatal(err)
 			}
-			for _, d := range diags {
-				fmt.Println(d)
-				findings++
-			}
+			all = append(all, diags...)
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "lppartvet: %d finding(s)\n", findings)
+	for _, d := range all {
+		fmt.Println(d)
+	}
+
+	if *sarifOut != "" {
+		data, err := analysis.SARIF(version, analyzers, all, loader.ModRoot)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*sarifOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *fix {
+		res, err := analysis.ApplyFixes(loader.Fset, all, nil)
+		if err != nil {
+			fatal(err)
+		}
+		if err := analysis.WriteFixes(res); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "lppartvet: applied %d fix(es) in %d file(s), skipped %d\n",
+			res.Applied, len(res.Files), res.Skipped)
+	}
+
+	if len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "lppartvet: %d finding(s)\n", len(all))
 		os.Exit(1)
+	}
+}
+
+// dumpFacts prints the program's derived per-function facts in call
+// graph order — the debugging view behind `-facts`.
+func dumpFacts(prog *analysis.Program) {
+	for _, n := range prog.Nodes {
+		var marks []string
+		if n.Facts.HotRoot {
+			marks = append(marks, "hotroot")
+		} else if n.Facts.Hot {
+			marks = append(marks, "hot(via "+n.Facts.HotVia+")")
+		}
+		if n.Facts.AllocExempt {
+			marks = append(marks, "alloc-exempt")
+		}
+		if n.Facts.Allocates {
+			marks = append(marks, "allocates("+n.Facts.AllocWhy+")")
+		}
+		if n.Facts.AcceptsCtx {
+			marks = append(marks, "ctx")
+		}
+		if n.Facts.ReturnsError {
+			marks = append(marks, "err")
+		}
+		fmt.Printf("%-60s %v\n", n.Name, marks)
 	}
 }
 

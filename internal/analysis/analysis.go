@@ -1,19 +1,25 @@
 // Package analysis is the host for lppartvet's invariant-checker passes:
 // a deliberately small reimplementation of the golang.org/x/tools
-// go/analysis surface (Analyzer, Pass, diagnostics) on the standard
-// library alone, so the checker suite builds in hermetic environments
-// with no module proxy.
+// go/analysis surface (Analyzer, Pass, diagnostics, suggested fixes) on
+// the standard library alone, so the checker suite builds in hermetic
+// environments with no module proxy.
 //
 // The repo's headline guarantee — byte-identical Table 1 rows, Figure 6
 // charts and decision trails at any worker count — is a *code* property:
 // one unsorted `for k := range m` over a map in a result-producing path
-// silently breaks it. The passes hosted here (detrange, nondetsource,
-// unitsafe) turn that contract into something machine-checked on every
-// push; this package supplies the loading, reporting and suppression
-// plumbing they share.
+// silently breaks it. The passes hosted here turn that contract into
+// something machine-checked on every push; this package supplies the
+// loading, reporting, suppression and call-graph plumbing they share.
+//
+// Since PR 8 the framework is interprocedural: BuildProgram assembles a
+// type-checked cross-package call graph over every loaded package and
+// derives per-function facts (allocates / accepts-ctx / returns-error,
+// propagated bottom-up), which the hotalloc, ctxflow and errflow passes
+// consume through Pass.Prog. See program.go and DESIGN.md §9.
 //
 // Suppression: a pass diagnostic can be acknowledged in source with a
-// `//lint:<marker>` comment on the flagged line or the line above it
+// `//lint:<marker>` comment on the flagged line, the line above it, or —
+// for multi-line statements — any line of the enclosing statement's span
 // (e.g. //lint:ordered for an order-insensitive map loop). Markers are
 // per-pass, so acknowledging one invariant never mutes another.
 package analysis
@@ -38,11 +44,28 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
+// TextEdit is one replacement of the source range [Pos, End) by NewText.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
+}
+
+// SuggestedFix is a set of edits that resolve one diagnostic; applied by
+// `lppartvet -fix` and checked against .golden files in analysistest.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
 // Diagnostic is one finding, resolved to a file position.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Fixes holds machine-applicable resolutions (may be empty). The
+	// End positions let the SARIF emitter and -fix mode recover source
+	// ranges; they refer to the FileSet the diagnostic came from.
+	Fixes []SuggestedFix
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -57,6 +80,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Prog is the whole-program view (call graph + facts) shared by
+	// every package of the run; single-package invocations get a
+	// program built over just that package.
+	Prog *Program
 
 	diags []Diagnostic
 }
@@ -70,27 +97,107 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Suppressed reports whether the line holding pos (or the line directly
-// above it) carries a `//lint:<marker>` acknowledgement comment.
-func (p *Pass) Suppressed(pos token.Pos, marker string) bool {
+// ReportFix records a finding at pos carrying a suggested fix.
+func (p *Pass) ReportFix(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    []SuggestedFix{fix},
+	})
+}
+
+// hasMarker reports whether comment text carries `lint:<marker>` as a
+// whole word (so //lint:alloc does not satisfy marker "all").
+func hasMarker(text, marker string) bool {
 	want := "lint:" + marker
-	line := p.Fset.Position(pos).Line
+	for rest := text; ; {
+		i := strings.Index(rest, want)
+		if i < 0 {
+			return false
+		}
+		after := rest[i+len(want):]
+		if after == "" || after[0] == ' ' || after[0] == '\t' || after[0] == ',' {
+			return true
+		}
+		rest = after
+	}
+}
+
+// Suppressed reports whether a `//lint:<marker>` acknowledgement comment
+// covers pos: on the same line, the line directly above, or — so that
+// multi-line statements can be acknowledged where they start — any line
+// of the innermost enclosing statement, from one line above its first
+// line through its last (for block-carrying statements, through the
+// opening brace of the block, not the whole body).
+func (p *Pass) Suppressed(pos token.Pos, marker string) bool {
 	file := p.fileOf(pos)
 	if file == nil {
 		return false
 	}
+	line := p.Fset.Position(pos).Line
+	lo, hi := line-1, line
+	if start, end, ok := stmtSpan(p.Fset, file, pos); ok {
+		if start-1 < lo {
+			lo = start - 1
+		}
+		if end > hi {
+			hi = end
+		}
+	}
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			if !strings.Contains(c.Text, want) {
+			if !hasMarker(c.Text, marker) {
 				continue
 			}
 			cl := p.Fset.Position(c.Pos()).Line
-			if cl == line || cl == line-1 {
+			if cl >= lo && cl <= hi {
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// stmtSpan returns the line span of the innermost statement containing
+// pos. Statements that carry a block (if/for/range/switch/select) span
+// only through the line of the block's opening brace, so a suppression
+// inside the body never silences a finding on the header.
+func stmtSpan(fset *token.FileSet, file *ast.File, pos token.Pos) (startLine, endLine int, ok bool) {
+	var best ast.Stmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if pos < n.Pos() || pos >= n.End() {
+			return false
+		}
+		if s, isStmt := n.(ast.Stmt); isStmt {
+			if _, isBlock := s.(*ast.BlockStmt); !isBlock {
+				best = s
+			}
+		}
+		return true
+	})
+	if best == nil {
+		return 0, 0, false
+	}
+	end := best.End()
+	switch s := best.(type) {
+	case *ast.IfStmt:
+		end = s.Body.Lbrace
+	case *ast.ForStmt:
+		end = s.Body.Lbrace
+	case *ast.RangeStmt:
+		end = s.Body.Lbrace
+	case *ast.SwitchStmt:
+		end = s.Body.Lbrace
+	case *ast.TypeSwitchStmt:
+		end = s.Body.Lbrace
+	case *ast.SelectStmt:
+		end = s.Body.Lbrace
+	}
+	return fset.Position(best.Pos()).Line, fset.Position(end).Line, true
 }
 
 // fileOf returns the syntax file containing pos.
@@ -110,14 +217,23 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 }
 
 // Run applies one analyzer to a loaded package and returns its findings
-// in position order.
+// in position order. The pass sees a program built over just this
+// package; use RunWithProgram for whole-module call-graph context.
 func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	return RunWithProgram(a, pkg, BuildProgram([]*Package{pkg}))
+}
+
+// RunWithProgram applies one analyzer to a loaded package with a shared
+// whole-program view (call graph + facts spanning every package of the
+// run).
+func RunWithProgram(a *Analyzer, pkg *Package, prog *Program) ([]Diagnostic, error) {
 	pass := &Pass{
 		Analyzer:  a,
 		Fset:      pkg.Fset,
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
+		Prog:      prog,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)

@@ -13,7 +13,9 @@
 package analysistest
 
 import (
+	"bytes"
 	"fmt"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -37,6 +39,15 @@ type expectation struct {
 // applies the analyzer and verifies its diagnostics against the want
 // comments. It returns the diagnostics for any extra assertions.
 func Run(t *testing.T, a *analysis.Analyzer, pkg string) []analysis.Diagnostic {
+	t.Helper()
+	_, diags := runOn(t, a, pkg)
+	return diags
+}
+
+// runOn is the shared load-and-check core of Run and RunFix; it returns
+// the loaded fixture package so callers can reuse its FileSet (fix
+// edits hold token.Pos values that only resolve against it).
+func runOn(t *testing.T, a *analysis.Analyzer, pkg string) (*analysis.Package, []analysis.Diagnostic) {
 	t.Helper()
 	dir := filepath.Join("testdata", "src", pkg)
 	loader, err := analysis.NewLoader(dir)
@@ -64,7 +75,7 @@ func Run(t *testing.T, a *analysis.Analyzer, pkg string) []analysis.Diagnostic {
 				w.file, w.line, w.pattern)
 		}
 	}
-	return diags
+	return p, diags
 }
 
 // collectWants scans the fixture's comments for want annotations.
@@ -106,6 +117,36 @@ func claim(wants []*expectation, d analysis.Diagnostic) bool {
 		}
 	}
 	return false
+}
+
+// RunFix runs the analyzer on a fixture (checking want comments as Run
+// does), applies every suggested fix in memory, and compares each
+// edited file against a sibling `.golden` file (`foo.go` →
+// `foo.go.golden`). Nothing is written back, so fixtures stay pristine
+// and the round-trip `source --lppartvet -fix--> golden` is asserted on
+// every test run.
+func RunFix(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	p, diags := runOn(t, a, pkg)
+	res, err := analysis.ApplyFixes(p.Fset, diags, nil)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(res.Files) == 0 {
+		t.Fatalf("%s: fixture %s produced no suggested fixes", a.Name, pkg)
+	}
+	for name, got := range res.Files { //lint:ordered test assertions, order-free
+		golden := name + ".golden"
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Errorf("missing golden file for %s: %v", name, err)
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("fixed %s differs from %s:\n--- got ---\n%s\n--- want ---\n%s",
+				name, golden, got, want)
+		}
+	}
 }
 
 // MustBeClean asserts the analyzer reports nothing on the fixture; used

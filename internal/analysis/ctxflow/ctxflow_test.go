@@ -1,0 +1,35 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"lppart/internal/analysis/analysistest"
+	"lppart/internal/analysis/ctxflow"
+)
+
+// TestFlagsViolations proves each rule fires once: dropped ctx-less
+// variant, nil in a context slot, fresh root context (with and without a
+// ctx in scope), bare send, bare receive, and an unguarded select.
+func TestFlagsViolations(t *testing.T) {
+	diags := analysistest.Run(t, ctxflow.Analyzer, "bad")
+	if len(diags) != 7 {
+		t.Errorf("want 7 findings in fixture bad, got %d", len(diags))
+	}
+}
+
+// TestAcceptsDisciplined proves forwarding, Done/default-guarded selects,
+// ctx-free functions and //lint:ctx acknowledgements all pass.
+func TestAcceptsDisciplined(t *testing.T) {
+	analysistest.MustBeClean(t, ctxflow.Analyzer, "good")
+}
+
+// TestMainExempt proves package main may mint root contexts.
+func TestMainExempt(t *testing.T) {
+	analysistest.MustBeClean(t, ctxflow.Analyzer, "mainpkg")
+}
+
+// TestFix round-trips the suggested fixes (Background→ctx, nil→ctx)
+// against the golden file.
+func TestFix(t *testing.T) {
+	analysistest.RunFix(t, ctxflow.Analyzer, "fix")
+}

@@ -1,0 +1,32 @@
+// Package serve is the detection half of the ctxflow fixture; its name
+// gates it into the blocking-checked service set, so all three rules
+// fire: dropped/nil contexts and ctx-less variants (rule 1), fresh root
+// contexts (rule 2), and ctx-blind channel blocking (rule 3).
+package serve
+
+import "context"
+
+func Do()                       {}
+func DoCtx(ctx context.Context) { _ = ctx }
+func Use(ctx context.Context)   { _ = ctx }
+
+func Work(ctx context.Context, ch chan int) {
+	DoCtx(ctx)
+	Do()                      // want `serve.Do drops the in-scope context ctx; call DoCtx instead`
+	Use(nil)                  // want `nil context passed to Use while ctx is in scope; forward it`
+	c := context.Background() // want `context.Background\(\) severs the caller's cancellation chain; forward ctx instead`
+	_ = c
+	ch <- 1   // want `bare channel send in a ctx-holding function blocks outside any select`
+	v := <-ch // want `bare channel receive in a ctx-holding function blocks outside any select`
+	_ = v
+	select { // want `select in a ctx-holding function has neither a <-ctx.Done\(\) case nor a default`
+	case w := <-ch:
+		_ = w
+	}
+}
+
+// Detached holds no context, so only rule 2 applies to it.
+func Detached() {
+	c := context.TODO() // want `context.TODO\(\) outside main and tests severs cancellation`
+	_ = c
+}

@@ -1,0 +1,13 @@
+// Package flow is the ctxflow -fix round-trip fixture: applying the
+// suggested fixes must produce fix.go.golden byte-for-byte.
+package flow
+
+import "context"
+
+func run(ctx context.Context)   { _ = ctx }
+func pair(a, b context.Context) { _, _ = a, b }
+
+func Launch(ctx context.Context) {
+	run(context.Background()) // want `context.Background\(\) severs the caller's cancellation chain; forward ctx instead`
+	pair(ctx, nil)            // want `nil context passed to pair while ctx is in scope; forward it`
+}

@@ -1,0 +1,36 @@
+// Package serve is the clean half of the ctxflow contract: forwarded
+// contexts, selects guarded by Done or default, functions that hold no
+// context at all, and //lint:ctx acknowledgements.
+package serve
+
+import "context"
+
+func Do()                       {}
+func DoCtx(ctx context.Context) { _ = ctx }
+
+func Work(ctx context.Context, ch chan int) error {
+	DoCtx(ctx)
+	Do() //lint:ctx deliberate detach, the callee is side-effect-free
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case v := <-ch:
+		_ = v
+	}
+	select {
+	case ch <- 1:
+	default:
+	}
+	ch <- 2 //lint:ctx drained by a dedicated goroutine
+	return nil
+}
+
+// NoCtx holds no context: channel blocking is not rule 3's business.
+func NoCtx(ch chan int) int {
+	ch <- 1
+	return <-ch
+}
+
+func root() context.Context {
+	return context.Background() //lint:ctx sanctioned root for the fixture
+}

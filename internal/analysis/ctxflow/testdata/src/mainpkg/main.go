@@ -1,0 +1,12 @@
+// Command mainpkg proves rule 2's exemption: package main legitimately
+// mints root contexts.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	run(ctx)
+}
+
+func run(ctx context.Context) { _ = ctx }

@@ -1,0 +1,326 @@
+// Package errflow implements the lppartvet pass that enforces the
+// repo's error discipline:
+//
+//  1. Error returns must not be silently dropped outside tests. A call
+//     whose error result is discarded — as a bare expression statement,
+//     a go/defer statement, or an assignment where every error result
+//     lands in the blank identifier — hides scheduling and persistence
+//     failures. The deliberate swallows (the memostore Put best-effort
+//     writes, the jobstore GC) carry a `//lint:err <why>`
+//     acknowledgement.
+//  2. fmt.Errorf at a package boundary must wrap with %w, not flatten
+//     with %v/%s: flattening breaks errors.Is/As matching of sentinel
+//     errors such as partition.ErrInfeasible across the serve API. The
+//     suggested fix rewrites the verb in place. Package main and tests
+//     are exempt (top-level reporting may flatten).
+//
+// Escape hatch: //lint:err on the flagged line or its enclosing
+// statement.
+package errflow
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"lppart/internal/analysis"
+)
+
+// Analyzer is the errflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errflow",
+	Doc: "flag dropped error returns (expression statements, go/defer, blank assignments) " +
+		"outside tests and fmt.Errorf wrapping with %v/%s instead of %w outside main; " +
+		"acknowledge deliberate swallows with //lint:err",
+	Run: run,
+}
+
+// ignoredRecv lists writer types whose dropped write errors are
+// conventional noise: never-fails-by-contract (hash.Hash, Builder,
+// Buffer), sticky errors surfaced later (bufio.Writer at Flush), or
+// nothing-you-can-do (an http response mid-write). The fmt print family
+// is excluded by package path instead.
+var ignoredRecv = map[string]bool{
+	"*strings.Builder":        true,
+	"*bytes.Buffer":           true,
+	"*bufio.Writer":           true,
+	"hash.Hash":               true,
+	"hash.Hash32":             true,
+	"hash.Hash64":             true,
+	"net/http.ResponseWriter": true,
+}
+
+func run(pass *analysis.Pass) error {
+	isMain := pass.Pkg.Name() == "main"
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDropped(pass, call, "discarded")
+				}
+			case *ast.GoStmt:
+				checkDropped(pass, n.Call, "discarded by go statement")
+			case *ast.DeferStmt:
+				// `defer x.Close()` is idiomatic best-effort cleanup;
+				// other deferred drops still count.
+				if !isCloseCall(n.Call) {
+					checkDropped(pass, n.Call, "discarded by defer")
+				}
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			case *ast.CallExpr:
+				if !isMain {
+					checkErrorf(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDropped reports a call statement that returns an error nobody
+// reads.
+func checkDropped(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	if !returnsError(pass.TypesInfo, call) || ignoredCallee(pass.TypesInfo, call) {
+		return
+	}
+	if pass.Suppressed(call.Pos(), "err") {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error returned by %s is %s; handle it or acknowledge with //lint:err",
+		calleeName(pass.TypesInfo, call), how)
+}
+
+// checkBlankAssign reports assignments whose error results all land in
+// the blank identifier: `_ = f()` or `_, _ = g()`.
+func checkBlankAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+			return
+		}
+	}
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || !returnsError(pass.TypesInfo, call) || ignoredCallee(pass.TypesInfo, call) {
+		return
+	}
+	if pass.Suppressed(as.Pos(), "err") {
+		return
+	}
+	pass.Reportf(as.Pos(),
+		"error returned by %s is assigned to _; handle it or acknowledge with //lint:err",
+		calleeName(pass.TypesInfo, call))
+}
+
+// checkErrorf reports fmt.Errorf calls that format an error argument
+// with a flattening verb instead of %w.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(format, "%w") {
+		return
+	}
+	for _, verb := range scanVerbs(format) {
+		argIdx := 1 + verb.arg
+		if argIdx >= len(call.Args) {
+			break
+		}
+		if verb.char != 'v' && verb.char != 's' {
+			continue
+		}
+		arg := call.Args[argIdx]
+		if !analysis.IsErrorType(pass.TypesInfo.TypeOf(arg)) {
+			continue
+		}
+		if pass.Suppressed(call.Pos(), "err") {
+			return
+		}
+		// The verb sits inside the format string literal; rewrite just
+		// its character. Offsets only line up for plain (non-raw,
+		// escape-free prefix) literals — fall back to a fix-less report
+		// otherwise.
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok && isPlainPrefix(lit.Value, verb.charOff) {
+			vpos := lit.ValuePos + 1 + token.Pos(verb.charOff) // +1 past opening quote
+			pass.ReportFix(call.Pos(), analysis.SuggestedFix{
+				Message: "wrap with %w",
+				Edits: []analysis.TextEdit{{
+					Pos: vpos, End: vpos + 1, NewText: "w",
+				}},
+			}, "fmt.Errorf formats error %s with %%%c, breaking errors.Is/As matching; wrap with %%w",
+				exprString(arg), verb.char)
+		} else {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf formats error %s with %%%c, breaking errors.Is/As matching; wrap with %%w",
+				exprString(arg), verb.char)
+		}
+		return // one report per call
+	}
+}
+
+// verbRef is one formatting verb: the byte offset of the verb character
+// in the (unquoted) format string, the character itself, and the index
+// of the operand it consumes.
+type verbRef struct {
+	charOff int
+	char    byte
+	arg     int
+}
+
+// scanVerbs walks a format string pairing verbs with operand indices
+// ('*' width/precision consume an operand each; '%%' consumes none).
+func scanVerbs(format string) []verbRef {
+	var verbs []verbRef
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// flags, width, precision, '*'
+		for i < len(format) && strings.IndexByte("+-# 0123456789.*", format[i]) >= 0 {
+			if format[i] == '*' {
+				arg++
+			}
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		verbs = append(verbs, verbRef{charOff: i, char: format[i], arg: arg})
+		arg++
+	}
+	return verbs
+}
+
+// isPlainPrefix reports whether the quoted literal text is a regular
+// interpreted string with no escape sequence up to and including
+// content byte n, so byte offsets into the unquoted value map 1:1 onto
+// source positions.
+func isPlainPrefix(quoted string, n int) bool {
+	if len(quoted) < 2 || quoted[0] != '"' {
+		return false
+	}
+	body := quoted[1:]
+	if n+1 > len(body) {
+		return false
+	}
+	return !strings.Contains(body[:n+1], "\\")
+}
+
+// returnsError reports whether a call's results include an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if analysis.IsErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return analysis.IsErrorType(t)
+}
+
+// ignoredCallee reports whether the call target's dropped error is
+// conventional noise: the fmt print family, io.WriteString into an
+// ignored writer, or a method called on (or declared by) an ignored
+// writer type.
+func ignoredCallee(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		if strings.HasPrefix(fn.Name(), "Print") ||
+			strings.HasPrefix(fn.Name(), "Fprint") ||
+			strings.HasPrefix(fn.Name(), "Sprint") {
+			return true
+		}
+	case "io":
+		if fn.Name() == "WriteString" && len(call.Args) > 0 {
+			if t := info.TypeOf(call.Args[0]); t != nil && ignoredRecv[t.String()] {
+				return true
+			}
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if ignoredRecv[sig.Recv().Type().String()] {
+			return true
+		}
+		// An interface method (io.Writer.Write) reached through a
+		// concrete or richer interface value: judge the operand's
+		// static type (hash.Hash, *bufio.Writer, ...).
+		if t := info.TypeOf(sel.X); t != nil && ignoredRecv[t.String()] {
+			return true
+		}
+	}
+	return false
+}
+
+// isCloseCall reports whether the call invokes a method named Close.
+func isCloseCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Close"
+}
+
+// calleeName renders the call target for a diagnostic.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return "(" + sig.Recv().Type().String() + ")." + fn.Name()
+			}
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+// exprString renders a short description of an argument expression.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	}
+	return "argument"
+}

@@ -1,0 +1,28 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"lppart/internal/analysis/analysistest"
+	"lppart/internal/analysis/errflow"
+)
+
+// TestFlagsDrops proves each drop shape and the flattening Errorf fire.
+func TestFlagsDrops(t *testing.T) {
+	diags := analysistest.Run(t, errflow.Analyzer, "bad")
+	if len(diags) != 6 {
+		t.Errorf("want 6 findings in fixture bad, got %d", len(diags))
+	}
+}
+
+// TestAcceptsDisciplined proves handled errors, acknowledged swallows,
+// deferred Close, conventional writers and non-error %v all pass.
+func TestAcceptsDisciplined(t *testing.T) {
+	analysistest.MustBeClean(t, errflow.Analyzer, "good")
+}
+
+// TestFix round-trips the %v/%s→%w rewrites against the golden file,
+// including a verb preceded by another operand-consuming verb.
+func TestFix(t *testing.T) {
+	analysistest.RunFix(t, errflow.Analyzer, "fix")
+}

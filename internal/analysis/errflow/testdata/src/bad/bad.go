@@ -1,0 +1,27 @@
+// Package store is the detection half of the errflow fixture: every
+// drop shape (expression statement, go, defer of a non-Close call,
+// all-blank assignment) and the flattening Errorf fire once.
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("boom")
+
+func work() error { return errBase }
+
+func pair() (int, error) { return 0, errBase }
+
+func Drop() {
+	work()        // want `error returned by work is discarded; handle it`
+	go work()     // want `error returned by work is discarded by go statement`
+	defer work()  // want `error returned by work is discarded by defer`
+	_ = work()    // want `error returned by work is assigned to _`
+	_, _ = pair() // want `error returned by pair is assigned to _`
+}
+
+func Wrap(err error) error {
+	return fmt.Errorf("load failed: %v", err) // want `fmt.Errorf formats error err with %v, breaking errors.Is/As matching; wrap with %w`
+}

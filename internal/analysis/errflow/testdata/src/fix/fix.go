@@ -1,0 +1,15 @@
+// Package store is the errflow -fix round-trip fixture: rewriting each
+// flattening verb to %w must produce fix.go.golden byte-for-byte. WrapS
+// places the error behind a consumed %d operand, exercising the
+// verb-to-operand pairing.
+package store
+
+import "fmt"
+
+func Wrap(err error) error {
+	return fmt.Errorf("open: %v", err) // want `wrap with %w`
+}
+
+func WrapS(err error) error {
+	return fmt.Errorf("scan %d: %s", 3, err) // want `wrap with %w`
+}

@@ -1,0 +1,36 @@
+// Package store is the clean half of the errflow contract: handled
+// errors, an acknowledged swallow, deferred Close, the conventional
+// never-fails writers, the fmt print family, and %v on a non-error.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var errBase = errors.New("boom")
+
+func work() error { return errBase }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func Clean(n int) (string, error) {
+	if err := work(); err != nil {
+		return "", fmt.Errorf("clean: %w", err)
+	}
+	_ = work() //lint:err fire-and-forget warmup, failure only costs a cache miss
+	var c closer
+	defer c.Close() // idiomatic best-effort cleanup
+	var sb strings.Builder
+	sb.WriteString("ok")       // never fails by contract
+	fmt.Println("progress", n) // print family
+	return sb.String(), nil
+}
+
+// Flatten is fine: the %v operand is not an error.
+func Flatten(n int) error {
+	return fmt.Errorf("count %v exceeded", n)
+}

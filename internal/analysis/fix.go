@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// FixResult summarizes one ApplyFixes run.
+type FixResult struct {
+	// Files maps each edited filename to its new contents.
+	Files map[string][]byte
+	// Applied counts the diagnostics whose fix was applied.
+	Applied int
+	// Skipped counts fixes dropped because they overlapped an
+	// already-applied edit (first — in diagnostic order — wins).
+	Skipped int
+}
+
+// ApplyFixes computes the result of applying every suggested fix of the
+// given diagnostics. Sources are read through read (defaults to
+// os.ReadFile), so tests can run fixtures in memory; nothing is written
+// to disk — see WriteFixes.
+//
+// Edits are applied per file in descending offset order so earlier
+// offsets stay valid; overlapping fixes are skipped deterministically.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic, read func(string) ([]byte, error)) (*FixResult, error) {
+	if read == nil {
+		read = os.ReadFile
+	}
+	type edit struct {
+		start, end int
+		text       string
+	}
+	perFile := make(map[string][]edit)
+	var files []string
+	res := &FixResult{Files: make(map[string][]byte)}
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			ok := true
+			var pending []edit
+			var names []string
+			for _, e := range fix.Edits {
+				ps, pe := fset.Position(e.Pos), fset.Position(e.End)
+				if !ps.IsValid() || !pe.IsValid() || ps.Filename != pe.Filename || ps.Offset > pe.Offset {
+					ok = false
+					break
+				}
+				// Reject overlap with edits already queued on the file.
+				for _, q := range perFile[ps.Filename] {
+					if ps.Offset < q.end && q.start < pe.Offset {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					break
+				}
+				pending = append(pending, edit{ps.Offset, pe.Offset, e.NewText})
+				names = append(names, ps.Filename)
+			}
+			if !ok {
+				res.Skipped++
+				continue
+			}
+			for i, e := range pending {
+				if len(perFile[names[i]]) == 0 {
+					files = append(files, names[i])
+				}
+				perFile[names[i]] = append(perFile[names[i]], e)
+			}
+			res.Applied++
+		}
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		src, err := read(name)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: fix %s: %w", name, err)
+		}
+		edits := perFile[name]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for _, e := range edits {
+			if e.end > len(src) {
+				return nil, fmt.Errorf("analysis: fix %s: edit [%d,%d) past EOF %d",
+					name, e.start, e.end, len(src))
+			}
+			src = append(src[:e.start:e.start], append([]byte(e.text), src[e.end:]...)...)
+		}
+		res.Files[name] = src
+	}
+	return res, nil
+}
+
+// WriteFixes writes an ApplyFixes result back to disk.
+func WriteFixes(res *FixResult) error {
+	var names []string
+	for name := range res.Files { //lint:ordered collect-then-sort
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		info, err := os.Stat(name)
+		mode := os.FileMode(0o644)
+		if err == nil {
+			mode = info.Mode().Perm()
+		}
+		if err := os.WriteFile(name, res.Files[name], mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}

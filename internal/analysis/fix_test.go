@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"testing"
+)
+
+// fixFixture builds a FileSet with one in-memory file and a helper to
+// mint positions into it.
+func fixFixture(src string) (*token.FileSet, func(off int) token.Pos, func(string) ([]byte, error)) {
+	fset := token.NewFileSet()
+	f := fset.AddFile("mem.go", -1, len(src))
+	f.SetLinesForContent([]byte(src))
+	pos := func(off int) token.Pos { return f.Pos(off) }
+	read := func(name string) ([]byte, error) {
+		if name != "mem.go" {
+			return nil, fmt.Errorf("unexpected read of %s", name)
+		}
+		return []byte(src), nil
+	}
+	return fset, pos, read
+}
+
+// TestApplyFixesOrdersAndSkipsOverlap proves edits apply in descending
+// offset order (earlier offsets stay valid) and an overlapping later
+// fix is skipped deterministically rather than corrupting the file.
+func TestApplyFixesOrdersAndSkipsOverlap(t *testing.T) {
+	src := "abcdefghij"
+	fset, pos, read := fixFixture(src)
+	diags := []Diagnostic{
+		{Analyzer: "t", Pos: fset.Position(pos(0)), Fixes: []SuggestedFix{{
+			Edits: []TextEdit{{Pos: pos(2), End: pos(4), NewText: "CD"}},
+		}}},
+		{Analyzer: "t", Pos: fset.Position(pos(0)), Fixes: []SuggestedFix{{
+			Edits: []TextEdit{{Pos: pos(7), End: pos(9), NewText: "HI"}},
+		}}},
+		// Overlaps the first edit's [2,4) range: must be skipped.
+		{Analyzer: "t", Pos: fset.Position(pos(0)), Fixes: []SuggestedFix{{
+			Edits: []TextEdit{{Pos: pos(3), End: pos(5), NewText: "xx"}},
+		}}},
+	}
+	res, err := ApplyFixes(fset, diags, read)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if res.Applied != 2 || res.Skipped != 1 {
+		t.Errorf("applied/skipped = %d/%d, want 2/1", res.Applied, res.Skipped)
+	}
+	if got := string(res.Files["mem.go"]); got != "abCDefgHIj" {
+		t.Errorf("fixed = %q, want abCDefgHIj", got)
+	}
+}
+
+// TestApplyFixesMultiEditAtomicity proves a fix whose edits straddle an
+// already-claimed range is dropped whole: none of its edits land.
+func TestApplyFixesMultiEditAtomicity(t *testing.T) {
+	src := "abcdefghij"
+	fset, pos, read := fixFixture(src)
+	diags := []Diagnostic{
+		{Analyzer: "t", Pos: fset.Position(pos(0)), Fixes: []SuggestedFix{{
+			Edits: []TextEdit{{Pos: pos(0), End: pos(2), NewText: "AB"}},
+		}}},
+		{Analyzer: "t", Pos: fset.Position(pos(0)), Fixes: []SuggestedFix{{
+			Edits: []TextEdit{
+				{Pos: pos(8), End: pos(10), NewText: "IJ"}, // clean on its own
+				{Pos: pos(1), End: pos(3), NewText: "no"},  // overlaps [0,2)
+			},
+		}}},
+	}
+	res, err := ApplyFixes(fset, diags, read)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if res.Applied != 1 || res.Skipped != 1 {
+		t.Errorf("applied/skipped = %d/%d, want 1/1", res.Applied, res.Skipped)
+	}
+	if got := string(res.Files["mem.go"]); got != "ABcdefghij" {
+		t.Errorf("fixed = %q, want ABcdefghij (partial fix must not land)", got)
+	}
+}

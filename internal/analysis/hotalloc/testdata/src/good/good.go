@@ -1,0 +1,46 @@
+// Package hot is the clean half of the hotalloc contract: a hot root
+// that stays allocation-free, an acknowledged one-time allocation, and
+// an exempted cold-fill boundary whose body — and callees — the closure
+// traversal must not enter.
+package hot
+
+//lint:hotpath allocation-free by construction
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+//lint:hotpath root with one acknowledged allocation
+func Grow(n int) []byte {
+	buf := make([]byte, n) //lint:alloc one-time result buffer, owned by the caller
+	fill(buf)
+	if n > 1024 {
+		refresh()
+	}
+	return buf
+}
+
+// fill is hot via Grow and allocation-free.
+func fill(b []byte) {
+	for i := range b {
+		b[i] = byte(i)
+	}
+}
+
+// refresh is an acknowledged cold-fill boundary: the decl-level marker
+// exempts its body and stops closure traversal, so neither its map
+// literal nor rebuild's make is reported.
+//
+//lint:alloc cold-fill boundary, entered only on a memo miss
+func refresh() map[string]int {
+	m := map[string]int{"a": 1}
+	rebuild(m)
+	return m
+}
+
+func rebuild(m map[string]int) {
+	m["b"] = len(make([]byte, 4))
+}

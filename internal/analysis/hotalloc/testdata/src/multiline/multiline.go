@@ -1,0 +1,23 @@
+// Package hot regression-tests multi-line suppression: before the
+// statement-span fix, a //lint: acknowledgement above a multi-line
+// statement only covered the statement's first line, so sites on
+// continuation lines — the boxed arguments below — re-surfaced. The
+// fixture must stay clean.
+package hot
+
+var sink interface{}
+
+func record(vs ...interface{}) {
+	for _, v := range vs {
+		sink = v
+	}
+}
+
+//lint:hotpath regression root
+func Emit(a, b int) {
+	//lint:alloc telemetry fan-out, boxed once per emit
+	record(
+		a,
+		b,
+	)
+}

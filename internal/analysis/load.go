@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -219,6 +221,9 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
+		if !fileIncluded(f, n) {
+			continue // excluded by build constraints for this platform
+		}
 		name := f.Name.Name
 		if strings.HasSuffix(strings.TrimSuffix(n, ".go"), "_test") && strings.HasSuffix(name, "_test") {
 			continue // external test package files
@@ -234,6 +239,109 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, string, error) {
 		return nil, "", fmt.Errorf("analysis: %s: no Go files", dir)
 	}
 	return files, pkgName, nil
+}
+
+// fileIncluded evaluates the file's build constraints — a `//go:build`
+// (or legacy `// +build`) comment before the package clause, plus
+// `_GOOS`/`_GOARCH` filename suffixes — against the current platform,
+// mirroring the subset of go/build the module needs. Files excluded
+// here never reach the type checker, so a linux-only syscall shim no
+// longer breaks loading the package on darwin (and vice versa).
+func fileIncluded(f *ast.File, filename string) bool {
+	if !suffixIncluded(filename) {
+		return false
+	}
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // constraints must precede the package clause
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue // malformed constraint: include, let vet see the file
+			}
+			if !expr.Eval(buildTag) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// suffixIncluded applies the `name_GOOS.go` / `name_GOARCH.go` /
+// `name_GOOS_GOARCH.go` filename convention.
+func suffixIncluded(filename string) bool {
+	base := strings.TrimSuffix(filepath.Base(filename), ".go")
+	parts := strings.Split(base, "_")
+	if len(parts) < 2 {
+		return true
+	}
+	// Trailing `_test` was already routed by the caller; ignore it here.
+	if parts[len(parts)-1] == "test" {
+		parts = parts[:len(parts)-1]
+	}
+	check := func(s string) bool {
+		if knownOS[s] {
+			return s == runtime.GOOS
+		}
+		if knownArch[s] {
+			return s == runtime.GOARCH
+		}
+		return true
+	}
+	if len(parts) >= 3 && knownOS[parts[len(parts)-2]] && knownArch[parts[len(parts)-1]] {
+		return parts[len(parts)-2] == runtime.GOOS && parts[len(parts)-1] == runtime.GOARCH
+	}
+	return check(parts[len(parts)-1])
+}
+
+// buildTag resolves one constraint tag the way `go build` would for
+// this toolchain: the current GOOS/GOARCH, the gc compiler, cgo off
+// (the loader never invokes cgo), and every go1.N language version up
+// to the running release.
+func buildTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "cgo":
+		return false
+	case "unix":
+		return unixOS[runtime.GOOS]
+	}
+	if rest, ok := strings.CutPrefix(tag, "go1."); ok {
+		var n int
+		if _, err := fmt.Sscanf(rest, "%d", &n); err == nil {
+			var cur int
+			if _, err := fmt.Sscanf(runtime.Version(), "go1.%d", &cur); err == nil {
+				return n <= cur
+			}
+			return true // devel toolchains satisfy all go1.N tags
+		}
+	}
+	return false // unknown or custom tags are unset, as in a bare `go build`
+}
+
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
 }
 
 // Expand resolves a package pattern relative to base: a plain directory,

@@ -1,9 +1,26 @@
 package analysis
 
 import (
+	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"testing"
 )
+
+// writeModule lays out a throwaway single-package module and returns
+// its directory.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module fixture\n\ngo 1.22\n"
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatalf("write %s: %v", name, err)
+		}
+	}
+	return dir
+}
 
 // TestLoaderTypeChecksModulePackage proves the offline loader resolves
 // module-internal imports and produces full type information.
@@ -53,5 +70,89 @@ func TestExpandSkipsTestdata(t *testing.T) {
 	}
 	if !foundSelf {
 		t.Error("expansion missed internal/analysis")
+	}
+}
+
+// TestLoaderSkipsBuildTagExcludedFiles proves files gated out by
+// //go:build constraints or GOOS filename suffixes never reach the type
+// checker: each excluded file below redeclares Target, so loading only
+// succeeds if both are filtered, while the satisfied go1.1 constraint
+// keeps its file in.
+func TestLoaderSkipsBuildTagExcludedFiles(t *testing.T) {
+	otherOS := "windows"
+	if runtime.GOOS == "windows" {
+		otherOS = "linux"
+	}
+	dir := writeModule(t, map[string]string{
+		"a.go":                 "package p\n\nfunc Target() int { return 1 }\n",
+		"b.go":                 "//go:build never\n\npackage p\n\nfunc Target() int { return 2 }\n",
+		"c_" + otherOS + ".go": "package p\n\nfunc Target() int { return 3 }\n",
+		"d.go":                 "//go:build go1.1\n\npackage p\n\nfunc Kept() int { return Target() }\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	p, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir with excluded files: %v", err)
+	}
+	if len(p.Files) != 2 {
+		t.Errorf("loaded %d files, want 2 (a.go and d.go)", len(p.Files))
+	}
+	if p.Types.Scope().Lookup("Kept") == nil {
+		t.Error("satisfied go1.1 constraint dropped its file")
+	}
+}
+
+// TestLoaderReportsSyntaxErrorPosition proves a parse failure surfaces
+// the offending file and line, not a bare error.
+func TestLoaderReportsSyntaxErrorPosition(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"a.go":      "package p\n\nfunc OK() {}\n",
+		"broken.go": "package p\n\nfunc Bad( {\n",
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	_, err = l.LoadDir(dir)
+	if err == nil {
+		t.Fatal("LoadDir succeeded on a syntax error")
+	}
+	if !strings.Contains(err.Error(), "broken.go:3") {
+		t.Errorf("error %q does not carry file:line of the syntax error", err)
+	}
+}
+
+// TestLoaderStdlibOnlyPackage proves the GOROOT source-importer
+// fallback: a package whose imports are all standard library
+// type-checks without any module-internal resolution.
+func TestLoaderStdlibOnlyPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"a.go": `package p
+
+import (
+	"fmt"
+	"strings"
+)
+
+func Join(xs []string) string { return fmt.Sprintf("%s", strings.Join(xs, ",")) }
+`,
+	})
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	p, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	obj := p.Types.Scope().Lookup("Join")
+	if obj == nil {
+		t.Fatal("Join not in scope")
+	}
+	if got := obj.Type().String(); got != "func(xs []string) string" {
+		t.Errorf("Join type = %q", got)
 	}
 }

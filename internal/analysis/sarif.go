@@ -1,0 +1,143 @@
+package analysis
+
+// SARIF 2.1.0 emission, so lppartvet findings surface as GitHub
+// code-scanning annotations. The emitter produces the minimal valid
+// subset of the OASIS sarif-2.1.0 schema: one run, a tool.driver with
+// one reportingDescriptor per pass, and one result per diagnostic with
+// a physical location (artifact URI relative to the module root +
+// region). Output is deterministic: results follow the already-sorted
+// diagnostic order and JSON fields marshal in struct order.
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"sort"
+)
+
+// SARIFSchemaURI is the canonical 2.1.0 schema location embedded in the
+// report's $schema field.
+const SARIFSchemaURI = "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/sarif-schema-2.1.0.json"
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	Version        string      `json:"version,omitempty"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIF renders diagnostics as a SARIF 2.1.0 log. Rules are emitted for
+// every analyzer (found or not) so rule indices are stable across runs;
+// artifact URIs are slash-separated paths relative to root (absolute
+// when outside it).
+func SARIF(toolVersion string, analyzers []*Analyzer, diags []Diagnostic, root string) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(analyzers))
+	index := make(map[string]int, len(analyzers))
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	docs := make(map[string]string, len(analyzers))
+	for _, a := range analyzers {
+		docs[a.Name] = a.Doc
+	}
+	for _, name := range names {
+		index[name] = len(rules)
+		rules = append(rules, sarifRule{ID: name, ShortDescription: sarifMessage{Text: docs[name]}})
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		idx, ok := index[d.Analyzer]
+		if !ok {
+			idx = len(rules)
+			index[d.Analyzer] = idx
+			rules = append(rules, sarifRule{ID: d.Analyzer, ShortDescription: sarifMessage{Text: d.Analyzer}})
+		}
+		uri := d.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, uri); err == nil && filepath.IsLocal(rel) {
+				uri = rel
+			}
+		}
+		line, col := d.Pos.Line, d.Pos.Column
+		if line < 1 {
+			line = 1
+		}
+		if col < 1 {
+			col = 1
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     "error", // every lppartvet finding fails CI
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(uri)},
+					Region:           sarifRegion{StartLine: line, StartColumn: col},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  SARIFSchemaURI,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "lppartvet", Version: toolVersion, Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(&log, "", "  ")
+}

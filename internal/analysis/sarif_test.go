@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"testing"
+)
+
+// TestSARIFStructure validates the emitted log against the 2.1.0
+// contract the code-scanning upload relies on: schema URI, version,
+// one run, a rule per analyzer with stable indices, and root-relative
+// slash URIs with 1-based regions.
+func TestSARIFStructure(t *testing.T) {
+	analyzers := []*Analyzer{
+		{Name: "zeta", Doc: "last alphabetically"},
+		{Name: "alpha", Doc: "first alphabetically"},
+	}
+	diags := []Diagnostic{
+		{Analyzer: "zeta", Pos: token.Position{Filename: "/mod/internal/a/a.go", Line: 3, Column: 7}, Message: "zeta says"},
+		{Analyzer: "alpha", Pos: token.Position{Filename: "/elsewhere/b.go", Line: 1, Column: 1}, Message: "alpha says"},
+	}
+	out, err := SARIF("2.0.0", analyzers, diags, "/mod")
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name    string `json:"name"`
+					Version string `json:"version"`
+					Rules   []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("emitted SARIF is not valid JSON: %v", err)
+	}
+	if log.Schema != SARIFSchemaURI || log.Version != "2.1.0" {
+		t.Errorf("schema/version = %q / %q", log.Schema, log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Version != "2.0.0" {
+		t.Errorf("driver version = %q", run.Tool.Driver.Version)
+	}
+	// Rules are sorted by name for stable indices across runs.
+	if len(run.Tool.Driver.Rules) != 2 ||
+		run.Tool.Driver.Rules[0].ID != "alpha" || run.Tool.Driver.Rules[1].ID != "zeta" {
+		t.Fatalf("rules = %+v, want [alpha zeta]", run.Tool.Driver.Rules)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	zeta := run.Results[0]
+	if zeta.RuleID != "zeta" || zeta.RuleIndex != 1 || zeta.Level != "error" {
+		t.Errorf("zeta result = %+v", zeta)
+	}
+	loc := zeta.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/a/a.go" {
+		t.Errorf("uri = %q, want root-relative slash path", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 3 || loc.Region.StartColumn != 7 {
+		t.Errorf("region = %+v", loc.Region)
+	}
+	// A file outside root keeps its absolute path.
+	if uri := run.Results[1].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "/elsewhere/b.go" {
+		t.Errorf("outside-root uri = %q", uri)
+	}
+}

@@ -1,0 +1,37 @@
+// Package prog exercises the call-graph builder: signature-derived
+// facts, bottom-up Allocates propagation, closures as first-class nodes
+// reached through their binding, the hot-closure BFS and the exempt
+// traversal stop.
+package prog
+
+import "context"
+
+//lint:hotpath fixture root
+func Root(ctx context.Context, n int) (int, error) {
+	step := func(i int) int { return helper(i) }
+	if n < 0 {
+		Exempt()
+	}
+	return step(n), nil
+}
+
+// helper allocates directly; Root inherits Allocates through step.
+func helper(i int) int {
+	return len(make([]byte, i))
+}
+
+// Exempt is an acknowledged cold-fill boundary: reachable from Root but
+// never expanded, so grow stays outside the hot closure.
+//
+//lint:alloc fixture cold-fill boundary
+func Exempt() []int {
+	return grow()
+}
+
+func grow() []int {
+	out := make([]int, 0, 2)
+	return append(out, 1, 2)
+}
+
+// Plain carries neither fact-bearing signature parts nor allocations.
+func Plain(x int) int { return x }

@@ -248,9 +248,11 @@ func findExit(r *cdfg.Region) (int, error) {
 
 // RunASIC implements iss.ASICHandler: one cluster invocation on the shared
 // memory. It returns the µP-clock cycles the system waits.
+//
+//lint:hotpath guarded by TestRunASICZeroAlloc
 func (c *Core) RunASIC(id int32, shared []int32) (int64, error) {
 	if int(id) != c.ID {
-		return 0, fmt.Errorf("asic: core %d invoked as %d", c.ID, id)
+		return 0, fmt.Errorf("asic: core %d invoked as %d", c.ID, id) //lint:alloc error path, aborts the run
 	}
 	c.Invocations++
 
@@ -379,14 +381,14 @@ func (c *Core) execute() (cycles int64, energy units.Energy, err error) {
 	for {
 		if blockID >= len(c.inRegion) || !c.inRegion[blockID] {
 			if blockID != c.exitBlock {
-				return 0, 0, fmt.Errorf("asic: control left region %s via unexpected block b%d",
+				return 0, 0, fmt.Errorf("asic: control left region %s via unexpected block b%d", //lint:alloc error path, aborts the run
 					c.Region.Label, blockID)
 			}
 			return cycles, energy, nil
 		}
 		blocksRun++
 		if blocksRun > c.MaxBlocks {
-			return 0, 0, fmt.Errorf("asic: region %s exceeded %d blocks", c.Region.Label, c.MaxBlocks)
+			return 0, 0, fmt.Errorf("asic: region %s exceeded %d blocks", c.Region.Label, c.MaxBlocks) //lint:alloc error path, aborts the run
 		}
 		blen := c.blockLen[blockID]
 		cycles += blen
@@ -410,7 +412,7 @@ func (c *Core) execute() (cycles int64, energy units.Energy, err error) {
 				energy += c.opEnergy(op, a, bv)
 				v, evalErr := behav.EvalBinOp(cdfg.BehavBinOp(op.Code), a, bv)
 				if evalErr != nil {
-					return 0, 0, fmt.Errorf("asic: %v: %v", op.Pos, evalErr)
+					return 0, 0, fmt.Errorf("asic: %v: %w", op.Pos, evalErr) //lint:alloc error path, aborts the run
 				}
 				c.writeSlot(op.Dst, v)
 			case op.Code == cdfg.Neg || op.Code == cdfg.Not || op.Code == cdfg.LNot:
@@ -432,7 +434,7 @@ func (c *Core) execute() (cycles int64, energy units.Energy, err error) {
 				idx := c.readOperand(op.A)
 				arr := c.arrayOf(op.Arr)
 				if idx < 0 || int(idx) >= len(arr) {
-					return 0, 0, fmt.Errorf("asic: %v: index %d out of range [0,%d)", op.Pos, idx, len(arr))
+					return 0, 0, fmt.Errorf("asic: %v: index %d out of range [0,%d)", op.Pos, idx, len(arr)) //lint:alloc error path, aborts the run
 				}
 				energy += c.opEnergy(op, idx, 0)
 				c.writeSlot(op.Dst, arr[idx])
@@ -441,7 +443,7 @@ func (c *Core) execute() (cycles int64, energy units.Energy, err error) {
 				val := c.readOperand(op.B)
 				arr := c.arrayOf(op.Arr)
 				if idx < 0 || int(idx) >= len(arr) {
-					return 0, 0, fmt.Errorf("asic: %v: index %d out of range [0,%d)", op.Pos, idx, len(arr))
+					return 0, 0, fmt.Errorf("asic: %v: index %d out of range [0,%d)", op.Pos, idx, len(arr)) //lint:alloc error path, aborts the run
 				}
 				energy += c.opEnergy(op, idx, val)
 				arr[idx] = val
@@ -455,11 +457,11 @@ func (c *Core) execute() (cycles int64, energy units.Energy, err error) {
 					next = op.Else
 				}
 			default:
-				return 0, 0, fmt.Errorf("asic: op %v cannot execute on an ASIC core", op.Code)
+				return 0, 0, fmt.Errorf("asic: op %v cannot execute on an ASIC core", op.Code) //lint:alloc error path, aborts the run
 			}
 		}
 		if next == -1 {
-			return 0, 0, fmt.Errorf("asic: block b%d fell through", blockID)
+			return 0, 0, fmt.Errorf("asic: block b%d fell through", blockID) //lint:alloc error path, aborts the run
 		}
 		blockID = next
 	}

@@ -668,7 +668,7 @@ func EvalBinOp(op BinOp, l, r int32) (int32, error) {
 		return l * r, nil
 	case OpDiv:
 		if r == 0 {
-			return 0, fmt.Errorf("division by zero")
+			return 0, fmt.Errorf("division by zero") //lint:alloc error path
 		}
 		if l == -1<<31 && r == -1 {
 			return -1 << 31, nil // wraps, like the hardware
@@ -676,7 +676,7 @@ func EvalBinOp(op BinOp, l, r int32) (int32, error) {
 		return l / r, nil
 	case OpRem:
 		if r == 0 {
-			return 0, fmt.Errorf("division by zero")
+			return 0, fmt.Errorf("division by zero") //lint:alloc error path
 		}
 		if l == -1<<31 && r == -1 {
 			return 0, nil
@@ -709,7 +709,7 @@ func EvalBinOp(op BinOp, l, r int32) (int32, error) {
 	case OpLOr:
 		return b2i(l != 0 || r != 0), nil
 	default:
-		return 0, fmt.Errorf("unknown operator %d", int(op))
+		return 0, fmt.Errorf("unknown operator %d", int(op)) //lint:alloc error path
 	}
 }
 

@@ -198,7 +198,7 @@ func BehavBinOp(o Opcode) behav.BinOp {
 	case LOr:
 		return behav.OpLOr
 	default:
-		panic(fmt.Sprintf("cdfg: opcode %v is not binary", o))
+		panic(fmt.Sprintf("cdfg: opcode %v is not binary", o)) //lint:alloc panic path
 	}
 }
 
@@ -265,18 +265,26 @@ type Op struct {
 
 // Uses returns the scalar slots the operation reads.
 func (op *Op) Uses() []VarRef {
-	var uses []VarRef
-	add := func(o Operand) {
-		if o.Valid() && !o.IsConst {
-			uses = append(uses, o.Ref)
+	return op.AppendUses(nil)
+}
+
+// AppendUses appends the scalar slots the operation reads to dst and
+// returns the extended slice — the zero-alloc form of Uses for callers
+// that hold a reusable buffer (the scheduler's DFG builder runs it on
+// every op of every candidate block).
+func (op *Op) AppendUses(dst []VarRef) []VarRef {
+	if op.A.Valid() && !op.A.IsConst {
+		dst = append(dst, op.A.Ref)
+	}
+	if op.B.Valid() && !op.B.IsConst {
+		dst = append(dst, op.B.Ref)
+	}
+	for _, a := range op.Args {
+		if a.Valid() && !a.IsConst {
+			dst = append(dst, a.Ref)
 		}
 	}
-	add(op.A)
-	add(op.B)
-	for _, a := range op.Args {
-		add(a)
-	}
-	return uses
+	return dst
 }
 
 // Def returns the scalar slot the operation writes, or NoVar.
@@ -341,7 +349,7 @@ type Function struct {
 // Block returns the block with the given ID.
 func (f *Function) Block(id int) *Block {
 	if id < 0 || id >= len(f.Blocks) {
-		panic(fmt.Sprintf("cdfg: function %s has no block %d", f.Name, id))
+		panic(fmt.Sprintf("cdfg: function %s has no block %d", f.Name, id)) //lint:alloc panic path
 	}
 	return f.Blocks[id]
 }

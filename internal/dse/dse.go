@@ -469,7 +469,9 @@ func searchGeometry(ctx context.Context, de *partition.DeltaEvaluator, gbase *pa
 		j, si int
 		ev    *partition.SetEval
 	}
-	var path []pathEl
+	// Depth is bounded by the pool (one pick per region), so one up-front
+	// allocation serves every push/pop of the DFS.
+	path := make([]pathEl, 0, len(pool))
 	overlapsPath := func(r *cdfg.Region) bool {
 		for _, el := range path {
 			if partition.RegionsOverlap(pool[el.j].Region, r) {
@@ -483,8 +485,8 @@ func searchGeometry(ctx context.Context, de *partition.DeltaEvaluator, gbase *pa
 			return // transitively dominated — can never reach the frontier
 		}
 		push(o)
-		picks := make([]Pick, len(path))
-		key := fmt.Sprintf("%d/%d/%d|%d/%d/%d", g[0].Sets, g[0].Assoc, g[0].LineWords,
+		picks := make([]Pick, len(path))                                               //lint:alloc only for a point that survives the dominance filter
+		key := fmt.Sprintf("%d/%d/%d|%d/%d/%d", g[0].Sets, g[0].Assoc, g[0].LineWords, //lint:alloc only for a point that survives the dominance filter
 			g[1].Sets, g[1].Assoc, g[1].LineWords)
 		for i, el := range path {
 			picks[i] = Pick{
@@ -492,7 +494,7 @@ func searchGeometry(ctx context.Context, de *partition.DeltaEvaluator, gbase *pa
 				Set: el.ev.RS.Name, SetIndex: el.si,
 				GEQ: el.ev.GEQ, OF: el.ev.OF,
 			}
-			key += fmt.Sprintf("|r%ds%d", picks[i].Region, el.si)
+			key += fmt.Sprintf("|r%ds%d", picks[i].Region, el.si) //lint:alloc only for a point that survives the dominance filter
 		}
 		base := pr.MuPE + pr.RestE
 		res.points = append(res.points, Point{
@@ -510,7 +512,8 @@ func searchGeometry(ctx context.Context, de *partition.DeltaEvaluator, gbase *pa
 	record(point())
 
 	var walk func(i int) error
-	walk = func(i int) error {
+	walk = func(i int) error { //lint:hotpath the branch-and-bound DFS body
+
 		if err := ctx.Err(); err != nil {
 			return err
 		}

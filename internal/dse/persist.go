@@ -341,6 +341,6 @@ func loadMeasurement(st *memostore.Store, fp [32]byte, pairs [][2]cache.Config, 
 // swallowed: persistence is an accelerator, not a correctness dependency
 // (and the store may legitimately be read-only on fleet nodes).
 func storeMeasurement(st *memostore.Store, fp [32]byte, pairs [][2]cache.Config, m *measurement) {
-	_ = st.Put(measureKey(fp), encodeMeasurement(m))
-	_ = st.Put(sweepKey(fp, pairs), encodeReports(m.reps))
+	_ = st.Put(measureKey(fp), encodeMeasurement(m))       //lint:err persistence is best-effort (see doc comment)
+	_ = st.Put(sweepKey(fp, pairs), encodeReports(m.reps)) //lint:err persistence is best-effort (see doc comment)
 }

@@ -38,7 +38,7 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) } //lint:nondet sizing 
 // lowest-index failure, so the (result, error) pair is deterministic at
 // any worker count.
 func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
-	return MapCtx(context.Background(), workers, items, fn)
+	return MapCtx(context.Background(), workers, items, fn) //lint:ctx non-Ctx convenience wrapper
 }
 
 // MapCtx is Map with cancellation: every worker checks ctx before picking

@@ -123,14 +123,14 @@ func Open(dir string, opts Options) (*Store, error) {
 		s.names = append(s.names, name)
 		tornHere, err := s.scanChunk(ci, f)
 		if err != nil {
-			s.Close()
+			s.Close() //lint:err best-effort cleanup of a failing open
 			return nil, err
 		}
 		torn = torn || tornHere
 	}
 	if !opts.ReadOnly {
 		if err := s.openActive(torn); err != nil {
-			s.Close()
+			s.Close() //lint:err best-effort cleanup of a failing open
 			return nil, err
 		}
 	}
@@ -195,7 +195,7 @@ func (s *Store) scanChunk(ci int, f *os.File) (torn bool, err error) {
 func (s *Store) openActive(torn bool) error {
 	next := 0
 	if n := len(s.names); n > 0 {
-		fmt.Sscanf(s.names[n-1], "chunk-%06d.log", &next)
+		fmt.Sscanf(s.names[n-1], "chunk-%06d.log", &next) //lint:err a non-matching name leaves next at its zero default
 		next++
 		if !torn {
 			last := s.names[n-1]
@@ -224,11 +224,11 @@ func (s *Store) newChunk(n int) error {
 	}
 	r, err := os.Open(path)
 	if err != nil {
-		w.Close()
+		w.Close() //lint:err best-effort cleanup, the open error propagates
 		return fmt.Errorf("memostore: %w", err)
 	}
 	if s.active != nil {
-		s.active.Close()
+		s.active.Close() //lint:err best-effort close of the replaced chunk
 	}
 	s.active = w
 	s.actLen = 0
@@ -262,7 +262,7 @@ func (s *Store) Put(key Key, val []byte) error {
 	}
 	if s.actLen >= s.maxChunk {
 		var next int
-		fmt.Sscanf(s.names[len(s.names)-1], "chunk-%06d.log", &next)
+		fmt.Sscanf(s.names[len(s.names)-1], "chunk-%06d.log", &next) //lint:err a non-matching name leaves next at its zero default
 		if err := s.newChunk(next + 1); err != nil {
 			return err
 		}
@@ -331,7 +331,7 @@ func (s *Store) Compact() error {
 	})
 	var next int
 	if n := len(s.names); n > 0 {
-		fmt.Sscanf(s.names[n-1], "chunk-%06d.log", &next)
+		fmt.Sscanf(s.names[n-1], "chunk-%06d.log", &next) //lint:err a non-matching name leaves next at its zero default
 		next++
 	}
 	tmp := filepath.Join(s.dir, "compact.tmp")
@@ -343,8 +343,8 @@ func (s *Store) Compact() error {
 		l := s.index[k]
 		val := make([]byte, l.vlen)
 		if _, err := s.chunks[l.chunk].ReadAt(val, l.off); err != nil {
-			w.Close()
-			os.Remove(tmp)
+			w.Close()      //lint:err best-effort cleanup, the compact error propagates
+			os.Remove(tmp) //lint:err best-effort cleanup, the compact error propagates
 			return fmt.Errorf("memostore: compact read: %w", err)
 		}
 		var hdr [4 + 32 + binary.MaxVarintLen64]byte
@@ -362,32 +362,32 @@ func (s *Store) Compact() error {
 			}
 		}
 		if err != nil {
-			w.Close()
-			os.Remove(tmp)
+			w.Close()      //lint:err best-effort cleanup, the compact error propagates
+			os.Remove(tmp) //lint:err best-effort cleanup, the compact error propagates
 			return fmt.Errorf("memostore: compact write: %w", err)
 		}
 	}
 	if err := w.Sync(); err != nil {
-		w.Close()
-		os.Remove(tmp)
+		w.Close()      //lint:err best-effort cleanup, the sync error propagates
+		os.Remove(tmp) //lint:err best-effort cleanup, the sync error propagates
 		return fmt.Errorf("memostore: compact sync: %w", err)
 	}
 	if err := w.Close(); err != nil {
-		os.Remove(tmp)
+		os.Remove(tmp) //lint:err best-effort cleanup, the close error propagates
 		return fmt.Errorf("memostore: compact close: %w", err)
 	}
 	dst := filepath.Join(s.dir, chunkName(next))
 	if err := os.Rename(tmp, dst); err != nil {
-		os.Remove(tmp)
+		os.Remove(tmp) //lint:err best-effort cleanup, the rename error propagates
 		return fmt.Errorf("memostore: compact rename: %w", err)
 	}
 	// Swap state over to the compacted chunk and delete the old ones.
 	old := s.names[:len(s.names):len(s.names)]
 	for _, f := range s.chunks {
-		f.Close()
+		f.Close() //lint:err best-effort close of a superseded chunk
 	}
 	if s.active != nil {
-		s.active.Close()
+		s.active.Close() //lint:err best-effort close of a superseded chunk
 		s.active = nil
 	}
 	s.chunks, s.names = nil, nil
@@ -402,7 +402,7 @@ func (s *Store) Compact() error {
 		return err
 	}
 	for _, name := range old {
-		os.Remove(filepath.Join(s.dir, name))
+		os.Remove(filepath.Join(s.dir, name)) //lint:err best-effort removal of superseded chunks
 	}
 	return s.openActive(false)
 }

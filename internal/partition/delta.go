@@ -68,6 +68,8 @@ func (d *DeltaEvaluator) Stats() DeltaStats {
 // baseline, writing into out. The warm path — terms cached, binding
 // memoized — performs no heap allocation. The returned error is a
 // Config.Verify violation, never a property of the design point.
+//
+//lint:hotpath guarded by TestDeltaEvalIntoZeroAlloc
 func (d *DeltaEvaluator) EvalInto(base *Baseline, c *Candidate, si int, prevHW, nextHW bool, out *SetEval) error {
 	rs := &d.e.cfg.ResourceSets[si]
 	key := PairKey{Region: c.Region.ID, Set: si}
@@ -85,7 +87,7 @@ func (d *DeltaEvaluator) EvalInto(base *Baseline, c *Candidate, si int, prevHW, 
 	if ct == nil || ct.br != br || ct.t.micro != base.Micro {
 		// First sighting, a memo eviction recomputed the binding, or the
 		// baseline's µP model changed: decompose from scratch.
-		ct = &cachedTerms{br: br, t: termsOf(base, d.e.cfg, c, rs, br, prevHW, nextHW)}
+		ct = &cachedTerms{br: br, t: termsOf(base, d.e.cfg, c, rs, br, prevHW, nextHW)} //lint:alloc term-cache miss; the warm path reuses the cached entry
 		d.terms[dk] = ct
 		d.stats.Misses++
 	} else {
@@ -142,6 +144,8 @@ func NewPriced(base *Baseline) *Priced {
 }
 
 // Add splices one accepted (cluster, evaluation) into the configuration.
+//
+//lint:hotpath O(1) splice inside the DSE inner loop
 func (p *Priced) Add(c *Candidate, ev *SetEval) {
 	p.stack = append(p.stack, p.cur)
 	p.cur.saved += float64(ev.EMuPSaved)
@@ -153,6 +157,8 @@ func (p *Priced) Add(c *Candidate, ev *SetEval) {
 
 // Remove splices the most recently added cluster back out, restoring the
 // exact accumulator values of the parent configuration.
+//
+//lint:hotpath O(1) splice inside the DSE inner loop
 func (p *Priced) Remove() {
 	p.cur = p.stack[len(p.stack)-1]
 	p.stack = p.stack[:len(p.stack)-1]

@@ -152,13 +152,13 @@ func RegionsOverlap(a, b *cdfg.Region) bool {
 	if a.Func != b.Func {
 		return false
 	}
-	blocks := make(map[int]bool, len(a.Blocks))
-	for _, bid := range a.Blocks {
-		blocks[bid] = true
-	}
+	// Regions hold a handful of blocks, and the branch-and-bound DFS calls
+	// this per candidate: a direct scan beats building a throwaway set.
 	for _, bid := range b.Blocks {
-		if blocks[bid] {
-			return true
+		for _, aid := range a.Blocks {
+			if aid == bid {
+				return true
+			}
 		}
 	}
 	return false

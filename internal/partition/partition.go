@@ -224,7 +224,7 @@ type Decision struct {
 // schedule + bind (Fig. 4 via internal/asic) per resource set, evaluate
 // the objective function and pick the best implementation.
 func Partition(p *cdfg.Program, prof *interp.Profile, base *Baseline, cfg Config) (*Decision, error) {
-	return PartitionCtx(context.Background(), p, prof, base, cfg)
+	return PartitionCtx(context.Background(), p, prof, base, cfg) //lint:ctx non-Ctx convenience wrapper
 }
 
 // PartitionCtx is Partition with cancellation: ctx is threaded into the
@@ -409,6 +409,8 @@ type bindResult struct {
 
 // scheduleBind runs the expensive half: Fig. 1 line 8's list schedule and
 // Fig. 4's instance binding.
+//
+//lint:alloc cold-fill boundary, runs only on a schedule/binding memo miss — the warm EvalInto path (TestDeltaEvalIntoZeroAlloc) never enters
 func scheduleBind(prof *interp.Profile, cfg Config, c *Candidate, rs *tech.ResourceSet) *bindResult {
 	br := &bindResult{}
 	// Line 8: list schedule.
@@ -476,6 +478,8 @@ type pairTerms struct {
 // top of a (possibly memoized) schedule+binding. prevHW/nextHW enable
 // Fig. 3's synergy discounts (steps 2/4) when the neighbouring sibling
 // cluster is already implemented in hardware.
+//
+//lint:alloc cold-fill boundary, runs only on a term-cache miss — the warm EvalInto path re-prices cached terms without entering here
 func termsOf(base *Baseline, cfg Config,
 	c *Candidate, rs *tech.ResourceSet, br *bindResult, prevHW, nextHW bool) *pairTerms {
 	t := &pairTerms{micro: base.Micro}

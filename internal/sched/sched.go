@@ -150,6 +150,7 @@ type workspace struct {
 	earliest []int
 	ready    []int
 	idxOf    []int32 // op position in block -> node index, -1 if unscheduled
+	useBuf   []cdfg.VarRef
 	// usage[kind][step] and memUse[step] track occupancy; usageHi is the
 	// first step beyond any recorded occupancy (the clear watermark).
 	usage   [tech.NumResourceKinds][]int16
@@ -178,7 +179,7 @@ func (ws *workspace) resetOccupancy(maxSteps int) {
 	need := maxSteps + 64 // headroom for multi-cycle ops past the last start
 	for k := range ws.usage {
 		if cap(ws.usage[k]) < need {
-			ws.usage[k] = make([]int16, need)
+			ws.usage[k] = make([]int16, need) //lint:alloc slab growth to the high-water mark, then reused
 			continue
 		}
 		u := ws.usage[k][:need]
@@ -188,7 +189,7 @@ func (ws *workspace) resetOccupancy(maxSteps int) {
 		ws.usage[k] = u
 	}
 	if cap(ws.memUse) < need {
-		ws.memUse = make([]int16, need)
+		ws.memUse = make([]int16, need) //lint:alloc slab growth to the high-water mark, then reused
 	} else {
 		m := ws.memUse[:need]
 		for t := 0; t < ws.usageHi && t < len(m); t++ {
@@ -221,6 +222,8 @@ func (ws *workspace) Less(i, j int) bool {
 }
 
 // ScheduleBlock schedules the datapath operations of one block.
+//
+//lint:hotpath the paper's Table 1 inner loop; kept allocation-free since PR 6
 func ScheduleBlock(cfg Config, f *cdfg.Function, b *cdfg.Block) (*BlockSchedule, error) {
 	ws := wsPool.Get().(*workspace)
 	defer wsPool.Put(ws)
@@ -228,13 +231,13 @@ func ScheduleBlock(cfg Config, f *cdfg.Function, b *cdfg.Block) (*BlockSchedule,
 		return nil, err
 	}
 	nodes := ws.nodes
-	bs := &BlockSchedule{Block: b}
+	bs := &BlockSchedule{Block: b} //lint:alloc the returned schedule, memoized by the evaluator
 	if len(nodes) == 0 {
 		bs.Len = 1
 		return bs, nil
 	}
 	computePriorities(nodes)
-	bs.Ops = make([]PlacedOp, 0, len(nodes))
+	bs.Ops = make([]PlacedOp, 0, len(nodes)) //lint:alloc result buffer owned by the returned schedule
 
 	// kindUsedBefore[k] = true once any op has been placed on kind k
 	// (the "already instantiated in a previous control step" test).
@@ -289,7 +292,7 @@ func ScheduleBlock(cfg Config, f *cdfg.Function, b *cdfg.Block) (*BlockSchedule,
 		step++
 	}
 	if scheduled < len(nodes) {
-		return nil, fmt.Errorf("sched: block b%d did not converge (%d/%d ops)", b.ID, scheduled, len(nodes))
+		return nil, fmt.Errorf("sched: block b%d did not converge (%d/%d ops)", b.ID, scheduled, len(nodes)) //lint:alloc error path
 	}
 	for i := range bs.Ops {
 		if e := bs.Ops[i].End(); e > bs.Len {
@@ -323,7 +326,7 @@ func (ws *workspace) ensure(k tech.ResourceKind, end int) []int16 {
 	if end <= len(u) {
 		return u
 	}
-	nu := make([]int16, end+64)
+	nu := make([]int16, end+64) //lint:alloc slab growth to the high-water mark, then reused
 	copy(nu, u)
 	ws.usage[k] = nu
 	return nu
@@ -395,7 +398,7 @@ func (ws *workspace) buildDFG(cfg Config, b *cdfg.Block) error {
 				}
 			}
 			if !feasible {
-				return &UnschedulableError{Op: op, Class: class, RSName: cfg.RS.Name}
+				return &UnschedulableError{Op: op, Class: class, RSName: cfg.RS.Name} //lint:alloc error path
 			}
 		}
 		ws.idxOf = append(ws.idxOf, int32(len(ws.nodes)))
@@ -443,8 +446,10 @@ func (ws *workspace) buildDFG(cfg Config, b *cdfg.Block) error {
 	for pos := range b.Ops {
 		op := &b.Ops[pos]
 		ni, isNode := int(ws.idxOf[pos]), ws.idxOf[pos] >= 0
-		// Reads.
-		for _, u := range op.Uses() {
+		// Reads. AppendUses into the workspace buffer: Uses() would
+		// allocate a fresh slice per op, on every candidate schedule.
+		ws.useBuf = op.AppendUses(ws.useBuf[:0])
+		for _, u := range ws.useBuf {
 			k := slotKey{u.Global, u.ID}
 			if isNode {
 				if d, ok := lastDef[k]; ok {

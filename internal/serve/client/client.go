@@ -136,7 +136,7 @@ func (c *Client) Healthy(ctx context.Context) bool {
 	if err != nil {
 		return false
 	}
-	resp.Body.Close()
+	resp.Body.Close() //lint:err health probe, the status code is the only signal
 	return resp.StatusCode == http.StatusOK
 }
 
@@ -280,7 +280,7 @@ func once[T any](c *Client, ctx context.Context, method, path string, payload []
 	}
 	if resp.StatusCode != http.StatusOK {
 		apiErr := &APIError{Status: resp.StatusCode}
-		_ = json.Unmarshal(raw, &apiErr.Body) // best effort; body may be non-JSON
+		_ = json.Unmarshal(raw, &apiErr.Body) //lint:err best effort; body may be non-JSON
 		if apiErr.Body.Err == "" {
 			apiErr.Body.Err = http.StatusText(resp.StatusCode)
 		}

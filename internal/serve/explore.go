@@ -88,10 +88,10 @@ func resolveGeometries(specs []GeometrySpec) ([][2]cache.Config, error) {
 		}
 		dcfg.WriteBack = true
 		if err := icfg.Validate(); err != nil {
-			return nil, fmt.Errorf("geometries[%d]: i-cache: %v", i, err)
+			return nil, fmt.Errorf("geometries[%d]: i-cache: %w", i, err)
 		}
 		if err := dcfg.Validate(); err != nil {
-			return nil, fmt.Errorf("geometries[%d]: d-cache: %v", i, err)
+			return nil, fmt.Errorf("geometries[%d]: d-cache: %w", i, err)
 		}
 		out = append(out, [2]cache.Config{icfg, dcfg})
 	}

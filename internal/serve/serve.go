@@ -135,7 +135,7 @@ var outcomeNames = []string{
 // New returns a ready-to-serve server.
 func New(cfg Config) *Server {
 	cfg.defaults()
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) //lint:ctx server-lifetime root, cancelled by Shutdown/Abort
 	s := &Server{
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
@@ -342,7 +342,7 @@ func (s *Server) serveKey(w http.ResponseWriter, r *http.Request, endpoint, key 
 				// Write errors (including ErrReadOnly on fleet nodes)
 				// are deliberately swallowed: persistence accelerates,
 				// it must never fail a served request.
-				_ = s.cfg.Store.Put(storeKey(key), res.body)
+				_ = s.cfg.Store.Put(storeKey(key), res.body) //lint:err persistence must never fail a served request
 			}
 		}
 		return res

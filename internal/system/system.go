@@ -229,7 +229,7 @@ type isaProgram struct {
 // so concurrent evaluations share only read-only state (the technology
 // library and resource sets of cfg, and the source ASTs).
 func EvaluateAll(srcs []*behav.Program, cfg Config, workers int) ([]*Evaluation, error) {
-	return EvaluateAllCtx(context.Background(), srcs, cfg, workers)
+	return EvaluateAllCtx(context.Background(), srcs, cfg, workers) //lint:ctx non-Ctx convenience wrapper
 }
 
 // EvaluateAllCtx is EvaluateAll with cancellation: a cancelled or
@@ -253,7 +253,7 @@ func EvaluateAllCtx(ctx context.Context, srcs []*behav.Program, cfg Config, work
 // Evaluate is safe for concurrent use: it mutates nothing reachable from
 // its arguments.
 func Evaluate(src *behav.Program, cfg Config) (*Evaluation, error) {
-	return EvaluateCtx(context.Background(), src, cfg)
+	return EvaluateCtx(context.Background(), src, cfg) //lint:ctx non-Ctx convenience wrapper
 }
 
 // EvaluateCtx is Evaluate with cancellation (see EvaluateAllCtx).
@@ -268,7 +268,7 @@ func EvaluateCtx(ctx context.Context, src *behav.Program, cfg Config) (*Evaluati
 
 // EvaluateIR is Evaluate starting from already-built IR.
 func EvaluateIR(ir *cdfg.Program, cfg Config) (*Evaluation, error) {
-	return EvaluateIRCtx(context.Background(), ir, cfg)
+	return EvaluateIRCtx(context.Background(), ir, cfg) //lint:ctx non-Ctx convenience wrapper
 }
 
 // MeasureInitialCtx runs the measurement front half of the Fig. 5 flow —

@@ -365,13 +365,20 @@ type Library struct {
 	// markedly slower.
 	WireDelayPerLog2 units.Time
 	WireGEQRef       int
+
+	// executors caches the per-class capable-resource lists served by
+	// Executors. Default() fills it after the resource table is final;
+	// keeping it a plain value field (not a sync.Once) keeps the struct
+	// copyable and its %+v rendering — which the DSE measurement memo
+	// fingerprints — independent of call order.
+	executors [NumOpClasses][]ResourceKind
 }
 
 // Resource returns the library's descriptor for kind k. The returned
 // pointer aliases the library; callers must not mutate it.
 func (l *Library) Resource(k ResourceKind) *Resource {
 	if k < 0 || k >= NumResourceKinds {
-		panic(fmt.Sprintf("tech: invalid resource kind %d", int(k)))
+		panic(fmt.Sprintf("tech: invalid resource kind %d", int(k))) //lint:alloc panic path
 	}
 	return &l.resources[k]
 }
@@ -381,20 +388,32 @@ func (l *Library) Resource(k ResourceKind) *Resource {
 // wants ("sorted according to the increasing size of a resource" so "the
 // first resource means the smallest and therefore the most energy
 // efficient one").
+//
+// The lists are computed once per library and cached: the scheduler asks
+// for them on every op placement, deep inside the partitioning loop. The
+// returned slice aliases the cache; callers must not mutate it.
 func (l *Library) Executors(c OpClass) []ResourceKind {
-	var kinds []ResourceKind
-	for k := ResourceKind(0); k < NumResourceKinds; k++ {
-		if l.resources[k].CanExecute(c) {
-			kinds = append(kinds, k)
+	return l.executors[c]
+}
+
+// buildExecutors fills the per-class executor lists. Resources are fixed
+// after construction, so Default derives the lists once as its last step.
+func (l *Library) buildExecutors() {
+	for c := OpClass(0); c < NumOpClasses; c++ {
+		var kinds []ResourceKind
+		for k := ResourceKind(0); k < NumResourceKinds; k++ {
+			if l.resources[k].CanExecute(c) {
+				kinds = append(kinds, k)
+			}
 		}
-	}
-	// Insertion sort by GEQ; the list is at most NumResourceKinds long.
-	for i := 1; i < len(kinds); i++ {
-		for j := i; j > 0 && l.resources[kinds[j]].GEQ < l.resources[kinds[j-1]].GEQ; j-- {
-			kinds[j], kinds[j-1] = kinds[j-1], kinds[j]
+		// Insertion sort by GEQ; the list is at most NumResourceKinds long.
+		for i := 1; i < len(kinds); i++ {
+			for j := i; j > 0 && l.resources[kinds[j]].GEQ < l.resources[kinds[j-1]].GEQ; j-- {
+				kinds[j], kinds[j-1] = kinds[j-1], kinds[j]
+			}
 		}
+		l.executors[c] = kinds
 	}
-	return kinds
 }
 
 // Default returns the reference CMOS6-style 0.8µ/5V technology library.
@@ -495,6 +514,7 @@ func Default() *Library {
 		EReadWord:  2.4 * units.NanoJoule,
 		EWriteWord: 3.1 * units.NanoJoule,
 	}
+	lib.buildExecutors()
 	return lib
 }
 
