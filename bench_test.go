@@ -28,6 +28,7 @@ import (
 	"lppart/internal/iss"
 	"lppart/internal/mem"
 	"lppart/internal/memostore"
+	"lppart/internal/milp"
 	"lppart/internal/partition"
 	"lppart/internal/sched"
 	"lppart/internal/system"
@@ -400,6 +401,58 @@ func BenchmarkFrontierDelta(b *testing.B) {
 		var f *dse.Frontier
 		for i := 0; i < b.N; i++ {
 			f, err = dse.Explore(context.Background(), ir, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b, f)
+	})
+}
+
+// BenchmarkFrontierHinted times the Pareto search with milp's donated
+// bounds (exact suffix/branch floors plus dominance cuts) against the
+// default hint, measurement excluded from the timed section. Both runs
+// produce byte-identical frontiers (TestHintedFrontierByteIdentical);
+// the configs/pruned metrics record the bound-donor pruning delta on
+// MPG tracked in BENCH_dse.json.
+func BenchmarkFrontierHinted(b *testing.B) {
+	a, err := apps.ByName("MPG")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := a.Parse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ir, err := cdfg.Build(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prep, err := dse.Prepare(context.Background(), ir, dse.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	report := func(b *testing.B, f *dse.Frontier) {
+		b.ReportMetric(float64(len(f.Points)), "points")
+		b.ReportMetric(float64(f.Stats.Configs), "configs")
+		b.ReportMetric(float64(f.Stats.Pruned), "pruned")
+	}
+
+	b.Run("default", func(b *testing.B) {
+		var f *dse.Frontier
+		for i := 0; i < b.N; i++ {
+			f, err = dse.ExplorePrep(context.Background(), prep, dse.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b, f)
+	})
+
+	b.Run("hinted", func(b *testing.B) {
+		var f *dse.Frontier
+		for i := 0; i < b.N; i++ {
+			f, err = dse.ExplorePrep(context.Background(), prep, dse.Config{Hints: milp.Hints{}})
 			if err != nil {
 				b.Fatal(err)
 			}

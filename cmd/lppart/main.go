@@ -10,6 +10,7 @@
 //	lppart -app=digs -F=2 -maxclusters=3 -geq=16000
 //	lppart -app=digs -listing   # also dump the compiled µP program
 //	lppart -app=digs -frontier  # branch-and-bound Pareto frontier
+//	lppart -app=digs -exact     # certified exact optimum per geometry
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"lppart/internal/codegen"
 	"lppart/internal/dse"
 	"lppart/internal/memostore"
+	"lppart/internal/milp"
 	"lppart/internal/report"
 	"lppart/internal/system"
 	"lppart/internal/tech"
@@ -41,9 +43,10 @@ func main() {
 		verilog     = flag.Bool("verilog", false, "emit the chosen ASIC core(s) as structural Verilog")
 		verify      = flag.Bool("verify", false, "run the pipeline-stage IR verifiers and the decision audit alongside partitioning")
 		frontier    = flag.Bool("frontier", false, "explore the design space and print the Pareto frontier instead of the greedy decision")
-		maxHW       = flag.Int("maxhw", 0, "frontier mode: max clusters moved to hardware per configuration (0 = default)")
-		jflag       = flag.Int("j", 0, "frontier mode: concurrent geometry searches (0 = one per CPU; output is identical at any -j)")
-		storeDir    = flag.String("store", "", "frontier mode: persistent measurement memo directory (warm runs skip the measurement phase; output is byte-identical)")
+		exact       = flag.Bool("exact", false, "solve each cache geometry to the certified exact optimum and print the greedy-vs-exact gap")
+		maxHW       = flag.Int("maxhw", 0, "frontier/exact mode: max clusters moved to hardware per configuration (0 = default)")
+		jflag       = flag.Int("j", 0, "frontier/exact mode: concurrent geometry searches (0 = one per CPU; output is identical at any -j)")
+		storeDir    = flag.String("store", "", "frontier/exact mode: persistent measurement memo directory (warm runs skip the measurement phase; output is byte-identical)")
 	)
 	flag.Parse()
 
@@ -79,7 +82,7 @@ func main() {
 	cfg.Part.MaxCores = *cores
 	cfg.Part.Verify = *verify
 
-	if *frontier {
+	if *frontier || *exact {
 		ir, berr := cdfg.Build(src)
 		if berr != nil {
 			fatal(berr)
@@ -92,6 +95,27 @@ func main() {
 			}
 			defer st.Close()
 			dcfg.Store = st
+		}
+		if *exact {
+			p, perr := dse.Prepare(context.Background(), ir, dcfg)
+			if perr != nil {
+				fatal(perr)
+			}
+			res, serr := milp.Solve(context.Background(), p,
+				milp.Config{MaxHW: *maxHW, Workers: *jflag, Certificate: true})
+			if serr != nil {
+				fatal(serr)
+			}
+			fmt.Print(report.Exact(res))
+			for _, o := range res.Optima {
+				if cerr := milp.Check(o.Inst, o.Cert); cerr != nil {
+					fatal(fmt.Errorf("certificate for geometry %dx%d sets: %w",
+						o.Geom[0].Sets, o.Geom[1].Sets, cerr))
+				}
+			}
+			fmt.Printf("\ncertificates: %d/%d optimality proofs re-checked\n",
+				len(res.Optima), len(res.Optima))
+			return
 		}
 		f, ferr := dse.Explore(context.Background(), ir, dcfg)
 		if ferr != nil {

@@ -11,6 +11,7 @@
 //	report -summary           # one-line summary per application
 //	report -app=digs -trail   # decision trail of one application
 //	report -frontier          # branch-and-bound Pareto frontier per app
+//	report -gap               # greedy-vs-exact optimality gaps (milp oracle)
 //	report -ablation=F        # ablation A1: objective factor sweep
 //	report -ablation=preselect|rs|weighted|gated|cache
 package main
@@ -37,12 +38,13 @@ func main() {
 		trail    = flag.Bool("trail", false, "print the partitioning decision trail")
 		appName  = flag.String("app", "", "restrict to one application")
 		frontier = flag.Bool("frontier", false, "render the design-space Pareto frontier per application")
+		gap      = flag.Bool("gap", false, "render the greedy-vs-exact optimality-gap table and assert the published frontier verdicts")
 		ablation = flag.String("ablation", "", "run an ablation: F, preselect, rs, weighted, gated, cache")
 		jobs     = flag.Int("j", 0, "concurrent application evaluations (0 = one per CPU, 1 = serial)")
 		verify   = flag.Bool("verify", false, "run the pipeline-stage IR verifiers and the decision audit alongside every evaluation")
 	)
 	flag.Parse()
-	if !*table1 && !*fig6 && !*hw && !*summary && !*trail && !*frontier && *ablation == "" {
+	if !*table1 && !*fig6 && !*hw && !*summary && !*trail && !*frontier && !*gap && *ablation == "" {
 		*table1 = true
 		*fig6 = true
 		*hw = true
@@ -68,6 +70,14 @@ func main() {
 
 	if *frontier {
 		if err := runFrontier(list, *jobs, *verify); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *gap {
+		if err := runGap(list, *jobs, *verify); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -37,6 +37,7 @@ var gated = map[string]bool{
 	"metrics":   true,
 	"dse":       true,
 	"jobs":      true,
+	"milp":      true,
 }
 
 // Analyzer is the detrange pass.
@@ -44,7 +45,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "detrange",
 	Doc: "flag nondeterministic map iteration in result-producing packages " +
 		"(partition, sched, system, report, explore, asic, stackdist, " +
-		"serve, client, metrics, dse, jobs); " +
+		"serve, client, metrics, dse, jobs, milp); " +
 		"iterate sorted keys or acknowledge order-insensitive loops with //lint:ordered",
 	Run: run,
 }

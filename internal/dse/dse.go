@@ -64,6 +64,12 @@ type Config struct {
 	// enumeration) — the differential-testing oracle for the bound's
 	// admissibility and the denominator of the pruning-rate measurements.
 	DisableBound bool
+	// Hints, when non-nil, supplies the branch-and-bound suffix floors
+	// per geometry in place of DefaultHint (e.g. milp.Hints donates exact
+	// subproblem optima as tighter floors). A hint must be admissible and
+	// deterministic; see BoundHint. HintFor returning nil falls back to
+	// the default for that geometry.
+	Hints HintSource
 	// Store, when non-nil, persists the measurement phase (profile,
 	// baseline, geometry sweep) content-addressed by the program
 	// fingerprint: a warm run skips the interpreter, the ISS and the
@@ -147,14 +153,33 @@ type Frontier struct {
 	Stats  Stats   `json:"stats"`
 }
 
-// Explore measures the application once (profile, initial design,
+// Prep is the measured, priced half of an exploration: the application
+// profiled and traced once, every cache geometry priced from that single
+// trace into its own all-software baseline, and one shared
+// DeltaEvaluator (one schedule/binding memo) ready to price (cluster,
+// resource set) pairs against any of those baselines. A Prep feeds both
+// the Pareto search (ExplorePrep) and the exact solver (internal/milp),
+// so the two provably price the same design space from the same floats.
+type Prep struct {
+	IR *cdfg.Program
+	// Delta wraps the shared Evaluator; all geometries re-run only the
+	// cheap baseline-dependent price tail after the first decomposition.
+	Delta *partition.DeltaEvaluator
+	// Geoms[i] is priced against Bases[i]. Geoms excludes the anchor
+	// unless it is itself an explored geometry (the default grid's first
+	// entry is the anchor pair).
+	Geoms [][2]cache.Config
+	Bases []*partition.Baseline
+}
+
+// Prepare measures the application once (profile, initial design,
 // reference trace), prices every cache geometry from the single recorded
-// trace, then runs the branch-and-bound subset search per geometry and
-// merges the per-geometry frontiers into one Pareto set.
-func Explore(ctx context.Context, ir *cdfg.Program, cfg Config) (*Frontier, error) {
-	if cfg.MaxHW <= 0 {
-		cfg.MaxHW = 2
-	}
+// trace, and derives each geometry's all-software baseline. With a store
+// attached, a previous run's measurement is replayed instead
+// (bit-identical records, so every downstream result is byte-identical
+// to a cold run's). The geometry set is fixed here; ExplorePrep ignores
+// cfg.Geometries.
+func Prepare(ctx context.Context, ir *cdfg.Program, cfg Config) (*Prep, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = explore.DefaultWorkers()
 	}
@@ -238,14 +263,12 @@ func Explore(ctx context.Context, ir *cdfg.Program, cfg Config) (*Frontier, erro
 		return nil, err
 	}
 	de := partition.NewDeltaEvaluator(pe)
-	pcfg := pe.Config()
 
-	total := len(geoms)
-	var done atomic.Int64
-	results, err := explore.MapCtx(ctx, cfg.Workers, geoms, func(gi int, g [2]cache.Config) (*geoResult, error) {
-		// The geometry's all-software baseline, derived from the anchor
-		// measurement: swap the memory subsystem's energy for the swept
-		// one, and shift cycles by the stall delta between geometries.
+	// Each geometry's all-software baseline, derived from the anchor
+	// measurement: swap the memory subsystem's energy for the swept one,
+	// and shift cycles by the stall delta between geometries.
+	bases := make([]*partition.Baseline, len(geoms))
+	for gi, g := range geoms {
 		gbase := &partition.Baseline{
 			MuPEnergy:          m.emup,
 			RestEnergy:         reps[gi].Total(),
@@ -258,7 +281,40 @@ func Explore(ctx context.Context, ir *cdfg.Program, cfg Config) (*Frontier, erro
 		if gbase.TotalCycles < 1 {
 			gbase.TotalCycles = 1
 		}
-		res, err := searchGeometry(ctx, de, gbase, g, &cfg)
+		bases[gi] = gbase
+	}
+	return &Prep{IR: ir, Delta: de, Geoms: geoms, Bases: bases}, nil
+}
+
+// Explore measures the application once (Prepare), then runs the
+// branch-and-bound subset search per geometry and merges the
+// per-geometry frontiers into one Pareto set (ExplorePrep).
+func Explore(ctx context.Context, ir *cdfg.Program, cfg Config) (*Frontier, error) {
+	p, err := Prepare(ctx, ir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ExplorePrep(ctx, p, cfg)
+}
+
+// ExplorePrep runs the Pareto search over an already-prepared
+// measurement. The geometry set comes from the Prep (cfg.Geometries is
+// ignored here); the partitioning knobs, pick budget, hint source and
+// worker count come from cfg.
+func ExplorePrep(ctx context.Context, p *Prep, cfg Config) (*Frontier, error) {
+	if cfg.MaxHW <= 0 {
+		cfg.MaxHW = 2
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = explore.DefaultWorkers()
+	}
+	pe := p.Delta.Evaluator()
+	pcfg := pe.Config()
+
+	total := len(p.Geoms)
+	var done atomic.Int64
+	results, err := explore.MapCtx(ctx, cfg.Workers, p.Geoms, func(gi int, g [2]cache.Config) (*geoResult, error) {
+		res, err := searchGeometry(ctx, p.Delta, p.Bases[gi], g, &cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -271,7 +327,7 @@ func Explore(ctx context.Context, ir *cdfg.Program, cfg Config) (*Frontier, erro
 		return nil, err
 	}
 
-	st := Stats{Geometries: len(geoms)}
+	st := Stats{Geometries: len(p.Geoms)}
 	var all []Point
 	for _, r := range results {
 		all = append(all, r.points...)
@@ -286,7 +342,7 @@ func Explore(ctx context.Context, ir *cdfg.Program, cfg Config) (*Frontier, erro
 	ms := pe.MemoStats()
 	st.MemoAdds, st.MemoSize, st.Memo = ms.Adds, ms.Size, ms
 
-	f := &Frontier{App: ir.Name, Points: pts, Stats: st}
+	f := &Frontier{App: p.IR.Name, Points: pts, Stats: st}
 	if pcfg.Verify {
 		if err := f.Audit(pcfg); err != nil {
 			return nil, err
@@ -327,7 +383,6 @@ func searchGeometry(ctx context.Context, de *partition.DeltaEvaluator, gbase *pa
 	ns := len(pcfg.ResourceSets)
 	res := &geoResult{}
 
-	iAcc := float64(gbase.ICacheAccessEnergy)
 	t0 := gbase.TotalCycles
 
 	// Evaluate the (cluster, resource set) grid against this geometry's
@@ -356,64 +411,18 @@ func searchGeometry(ctx context.Context, de *partition.DeltaEvaluator, gbase *pa
 		}
 	}
 
-	// Admissible per-cluster bounds on what adding cluster j can do to
-	// each objective, starting from the Fig. 3 pre-selection metric and
-	// tightened by the computed evaluations:
-	//   ΔE_j >= -(Score_j + instrs_j · i-access energy): the ASIC estimate
-	//     pays at least the Fig. 3 bus transfers (E_ASIC >= Inv·E_Trans),
-	//     so the best case is saving the cluster's full µP energy and its
-	//     i-cache fetches while paying only those transfers — exactly the
-	//     pre-selection score plus the fetch term. The minimum over the
-	//     cluster's viable evaluations is a second, usually tighter,
-	//     admissible bound (a leaf must use one of them); take the min.
-	//   ΔC_j: bounded by the minimum viable cycle delta (and by -Cycles_j,
-	//     which that minimum already respects since hardware time >= 0).
-	//   ΔGEQ_j: at least the cheapest viable resource set's cells — GEQ
-	//     only ever grows, and every extension adds >= 1 cluster.
-	// Suffix aggregates over the rank-ordered pool then bound, for any
-	// subtree rooted at index i, the most any extension could still
-	// improve energy and cycles, and the least hardware it must add.
-	potE := make([]float64, len(pool))
-	potC := make([]int64, len(pool))
-	minGEQ := make([]int, len(pool))
-	for j, c := range pool {
-		scorePot := c.Score + float64(c.MuP.Instrs)*iAcc
-		bestE, bestC := 0.0, int64(0)
-		minGEQ[j] = 0
-		for k, si := range viable[j] {
-			e := evals[j][si]
-			dE := float64(e.EASIC) - float64(e.EMuPSaved) - float64(c.MuP.Instrs)*iAcc
-			dC := e.EstCycles - t0
-			if k == 0 || dE < bestE {
-				bestE = dE
-			}
-			if dC < bestC {
-				bestC = dC
-			}
-			if k == 0 || e.GEQ < minGEQ[j] {
-				minGEQ[j] = e.GEQ
-			}
-		}
-		if p := -bestE; p > 0 {
-			potE[j] = p
-		}
-		if potE[j] > scorePot && scorePot >= 0 {
-			potE[j] = scorePot
-		}
-		if bestC < 0 {
-			potC[j] = -bestC
-		}
+	// The suffix floors bounding what any extension of a subtree can
+	// still achieve. DefaultHint aggregates the admissible per-cluster
+	// Potentials into plain suffix sums; a Config.Hints source (e.g.
+	// milp.Hints) may donate tighter — but still admissible — floors.
+	hin := &HintInputs{Pool: pool, Evals: evals, Viable: viable,
+		Base: gbase, Config: pcfg, Geom: g, MaxHW: cfg.MaxHW}
+	var hint BoundHint
+	if cfg.Hints != nil {
+		hint = cfg.Hints.HintFor(hin)
 	}
-	sufE := make([]float64, len(pool)+1)
-	sufC := make([]int64, len(pool)+1)
-	sufG := make([]int, len(pool)+1)
-	for j := len(pool) - 1; j >= 0; j-- {
-		sufE[j] = sufE[j+1] + potE[j]
-		sufC[j] = sufC[j+1] + potC[j]
-		sufG[j] = sufG[j+1]
-		if len(viable[j]) > 0 && (sufG[j] == 0 || minGEQ[j] < sufG[j]) {
-			sufG[j] = minGEQ[j]
-		}
+	if hint == nil {
+		hint = DefaultHint(hin)
 	}
 
 	// obj is one point in objective space; front holds the non-dominated
@@ -452,6 +461,16 @@ func searchGeometry(ctx context.Context, de *partition.DeltaEvaluator, gbase *pa
 		e, c, g := pr.Point()
 		return obj{e: e, c: c, g: g}
 	}
+	type pathEl struct {
+		j, si int
+		ev    *partition.SetEval
+	}
+	// Depth is bounded by the pool (one pick per region), so one up-front
+	// allocation serves every push/pop of the DFS. picked mirrors path's
+	// pool indices for the hint (rebuilt per bound query, backing array
+	// reused).
+	path := make([]pathEl, 0, len(pool))
+	picked := make([]int, 0, len(pool))
 	// bounded reports whether no extension drawing clusters from pool[i:]
 	// can reach a non-dominated point. The bound under-approximates every
 	// reachable objective (clamping only raises the real values), so a
@@ -461,17 +480,32 @@ func searchGeometry(ctx context.Context, de *partition.DeltaEvaluator, gbase *pa
 		if cfg.DisableBound {
 			return false
 		}
-		e, c, g := pr.LowerBound(sufE[i], sufC[i], sufG[i])
+		picked = picked[:0]
+		for _, el := range path {
+			picked = append(picked, el.j)
+		}
+		dE, dC, dG := hint.SuffixFloor(i, cfg.MaxHW-len(path), picked)
+		e, c, g := pr.LowerBound(dE, dC, dG)
 		return dominated(obj{e: e, c: c, g: g})
 	}
-
-	type pathEl struct {
-		j, si int
-		ev    *partition.SetEval
+	// A BranchHint additionally floors single branches (first pick = j):
+	// a dominated branch floor skips just cluster j's implementations
+	// where the level bound above cuts whole suffixes. An OptionCut
+	// skips single implementations dominated within their own cluster.
+	bh, _ := hint.(BranchHint)
+	oc, _ := hint.(OptionCut)
+	branchBounded := func(j int) bool {
+		if cfg.DisableBound || bh == nil {
+			return false
+		}
+		picked = picked[:0]
+		for _, el := range path {
+			picked = append(picked, el.j)
+		}
+		dE, dC, dG := bh.BranchFloor(j, cfg.MaxHW-len(path), picked)
+		e, c, g := pr.LowerBound(dE, dC, dG)
+		return dominated(obj{e: e, c: c, g: g})
 	}
-	// Depth is bounded by the pool (one pick per region), so one up-front
-	// allocation serves every push/pop of the DFS.
-	path := make([]pathEl, 0, len(pool))
 	overlapsPath := func(r *cdfg.Region) bool {
 		for _, el := range path {
 			if partition.RegionsOverlap(pool[el.j].Region, r) {
@@ -530,7 +564,15 @@ func searchGeometry(ctx context.Context, de *partition.DeltaEvaluator, gbase *pa
 			if overlapsPath(pool[j].Region) {
 				continue
 			}
+			if len(viable[j]) > 0 && branchBounded(j) {
+				res.pruned++
+				continue
+			}
 			for _, si := range viable[j] {
+				if oc != nil && !cfg.DisableBound && oc.CutOption(j, si) {
+					res.pruned++
+					continue
+				}
 				ev := evals[j][si]
 				res.configs++
 				path = append(path, pathEl{j, si, ev})

@@ -1,0 +1,178 @@
+package dse
+
+import (
+	"lppart/internal/cache"
+	"lppart/internal/partition"
+)
+
+// BoundHint supplies the branch-and-bound suffix floors: for a subtree
+// whose configuration already holds the pool indices in picked and may
+// still draw clusters from pool[i:], moving at most k more of them to
+// hardware, SuffixFloor returns
+//
+//	dE     — an upper bound on how much total energy any such extension
+//	         can still remove,
+//	dC     — an upper bound on how many cycles it can still remove,
+//	minGEQ — a lower bound on the hardware effort it must add (0 only if
+//	         the empty extension is allowed, which it always is).
+//
+// picked is ascending, valid only for the duration of the call (the
+// search reuses the backing array), and exists so a hint can exclude
+// suffix clusters whose regions overlap an already-picked one — those
+// extensions are infeasible, so discounting their potential keeps the
+// floor admissible while tightening it. DefaultHint ignores it.
+//
+// The floors feed partition.Priced.LowerBound, so they must be
+// admissible: over-reporting dE/dC or under-reporting minGEQ would prune
+// reachable frontier points. They must also be monotone in i for fixed
+// (k, picked) — dE and dC non-increasing, minGEQ non-decreasing —
+// because the search cuts the remainder of a level after the first
+// dominated bound (pool[i+1:] is a subset of pool[i:], so any admissible
+// floor satisfies this naturally).
+type BoundHint interface {
+	SuffixFloor(i, k int, picked []int) (dE float64, dC int64, minGEQ int)
+}
+
+// HintInputs is everything a HintSource may price a geometry's bound
+// from: the rank-ordered candidate pool, the full (cluster, resource
+// set) evaluation grid against this geometry's baseline, the viable set
+// indices (Fig. 1 acceptance test passed), the resolved partitioning
+// config, and the search's pick budget.
+type HintInputs struct {
+	Pool   []*partition.Candidate
+	Evals  [][]*partition.SetEval
+	Viable [][]int
+	Base   *partition.Baseline
+	Config partition.Config
+	Geom   [2]cache.Config
+	MaxHW  int
+}
+
+// BranchHint is an optional BoundHint extension for per-branch floors:
+// BranchFloor bounds only the extensions whose FIRST additional pick is
+// cluster j (followed by at most k-1 more from pool[j+1:], all
+// non-overlapping with each other, j and the picked path). Committing
+// the branch to cluster j makes the floor far tighter than the level's:
+// minGEQ is j's own cheapest viable implementation — not the cheapest
+// anywhere in the suffix — and dE/dC can no longer combine per-axis
+// optima from different first picks. A dominated branch floor skips
+// just that cluster's implementations; the level bound still cuts whole
+// suffixes. Admissibility is per branch: no extension starting with j
+// may beat the returned floors.
+type BranchHint interface {
+	BranchFloor(j, k int, picked []int) (dE float64, dC int64, minGEQ int)
+}
+
+// OptionCut is an optional BoundHint extension carrying milp-style
+// dominance cuts: CutOption reports that implementation si of cluster j
+// may be skipped everywhere in the search because another viable option
+// of the SAME cluster has pointwise no-worse objective deltas (energy,
+// cycles, GEQ — at least one strictly better, or equal on all three
+// with a smaller set index). Unlike a bound, the cut is hereditary:
+// swapping the dominating option into ANY configuration containing
+// (j, si) improves it pointwise, so every such configuration is
+// weakly dominated by a distinct surviving one and the reduced frontier
+// is unchanged. Cuts must be deterministic pure functions of the
+// geometry's evaluation grid.
+type OptionCut interface {
+	CutOption(j, si int) bool
+}
+
+// HintSource derives a BoundHint per geometry. Returning nil falls back
+// to DefaultHint. Implementations must be deterministic: the frontier is
+// promised byte-identical at any worker count, and the hint is part of
+// the pruning decisions that shape the search's recorded counters.
+type HintSource interface {
+	HintFor(in *HintInputs) BoundHint
+}
+
+// Potentials computes the per-cluster admissible improvement bounds the
+// default hint aggregates, starting from the Fig. 3 pre-selection metric
+// and tightened by the computed evaluations:
+//
+//	potE[j] >= -ΔE_j for every viable pick of cluster j: the ASIC
+//	  estimate pays at least the Fig. 3 bus transfers
+//	  (E_ASIC >= Inv·E_Trans), so the best case is saving the cluster's
+//	  full µP energy and its i-cache fetches while paying only those
+//	  transfers — exactly the pre-selection score plus the fetch term.
+//	  The minimum over the cluster's viable evaluations is a second,
+//	  usually tighter, admissible bound (a leaf must use one of them);
+//	  take the min.
+//	potC[j] >= -ΔC_j: bounded by the minimum viable cycle delta (and by
+//	  -Cycles_j, which that minimum already respects since hardware time
+//	  is >= 0).
+//	minGEQ[j] <= ΔGEQ_j: the cheapest viable resource set's cells — GEQ
+//	  only ever grows, and every extension adds >= 1 cluster.
+func Potentials(in *HintInputs) (potE []float64, potC []int64, minGEQ []int) {
+	iAcc := float64(in.Base.ICacheAccessEnergy)
+	t0 := in.Base.TotalCycles
+	pool := in.Pool
+	potE = make([]float64, len(pool))
+	potC = make([]int64, len(pool))
+	minGEQ = make([]int, len(pool))
+	for j, c := range pool {
+		scorePot := c.Score + float64(c.MuP.Instrs)*iAcc
+		bestE, bestC := 0.0, int64(0)
+		minGEQ[j] = 0
+		for k, si := range in.Viable[j] {
+			e := in.Evals[j][si]
+			dE := float64(e.EASIC) - float64(e.EMuPSaved) - float64(c.MuP.Instrs)*iAcc
+			dC := e.EstCycles - t0
+			if k == 0 || dE < bestE {
+				bestE = dE
+			}
+			if dC < bestC {
+				bestC = dC
+			}
+			if k == 0 || e.GEQ < minGEQ[j] {
+				minGEQ[j] = e.GEQ
+			}
+		}
+		if p := -bestE; p > 0 {
+			potE[j] = p
+		}
+		if potE[j] > scorePot && scorePot >= 0 {
+			potE[j] = scorePot
+		}
+		if bestC < 0 {
+			potC[j] = -bestC
+		}
+	}
+	return potE, potC, minGEQ
+}
+
+// suffixHint is the hardwired bound DefaultHint builds: plain suffix
+// sums of the per-cluster potentials, ignoring the remaining pick budget
+// k, the picked path and region overlaps (all three relaxations only
+// loosen the floor, keeping it admissible).
+type suffixHint struct {
+	sufE []float64
+	sufC []int64
+	sufG []int
+}
+
+func (h *suffixHint) SuffixFloor(i, _ int, _ []int) (float64, int64, int) {
+	return h.sufE[i], h.sufC[i], h.sufG[i]
+}
+
+// DefaultHint aggregates Potentials into suffix floors: for any subtree
+// rooted at pool index i, the most any extension could still improve
+// energy and cycles, and the least hardware it must add.
+func DefaultHint(in *HintInputs) BoundHint {
+	potE, potC, minGEQ := Potentials(in)
+	n := len(in.Pool)
+	h := &suffixHint{
+		sufE: make([]float64, n+1),
+		sufC: make([]int64, n+1),
+		sufG: make([]int, n+1),
+	}
+	for j := n - 1; j >= 0; j-- {
+		h.sufE[j] = h.sufE[j+1] + potE[j]
+		h.sufC[j] = h.sufC[j+1] + potC[j]
+		h.sufG[j] = h.sufG[j+1]
+		if len(in.Viable[j]) > 0 && (h.sufG[j] == 0 || minGEQ[j] < h.sufG[j]) {
+			h.sufG[j] = minGEQ[j]
+		}
+	}
+	return h
+}

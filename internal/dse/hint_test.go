@@ -1,0 +1,84 @@
+package dse
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// nilSource exercises the HintFor-returns-nil fallback path.
+type nilSource struct{ calls int }
+
+func (s *nilSource) HintFor(in *HintInputs) BoundHint {
+	s.calls++
+	return nil
+}
+
+// looseHint doubles the default energy/cycle floors and zeroes the GEQ
+// floor: still admissible (floors only got looser), so the frontier must
+// not change — only the pruning rate may drop.
+type looseHint struct{ inner BoundHint }
+
+func (h looseHint) SuffixFloor(i, k int, picked []int) (float64, int64, int) {
+	dE, dC, _ := h.inner.SuffixFloor(i, k, picked)
+	return 2 * dE, 2 * dC, 0
+}
+
+type looseSource struct{}
+
+func (looseSource) HintFor(in *HintInputs) BoundHint {
+	return looseHint{inner: DefaultHint(in)}
+}
+
+func frontierJSON(t *testing.T, f *Frontier) []byte {
+	t.Helper()
+	b, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestHintSourcePlumbing pins the BoundHint contract: a source returning
+// nil falls back to DefaultHint with a byte-identical frontier AND
+// byte-identical counters, and a strictly looser admissible hint still
+// returns a byte-identical frontier while never pruning more.
+func TestHintSourcePlumbing(t *testing.T) {
+	ir := buildApp(t, "engine")
+	ctx := context.Background()
+
+	ref, err := Explore(ctx, ir, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := &nilSource{}
+	viaNil, err := Explore(ctx, ir, Config{Workers: 1, Hints: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.calls != ref.Stats.Geometries {
+		t.Fatalf("HintFor called %d times, want once per geometry (%d)", src.calls, ref.Stats.Geometries)
+	}
+	if !bytes.Equal(frontierJSON(t, ref), frontierJSON(t, viaNil)) {
+		t.Fatal("nil-returning HintSource changed the frontier or counters")
+	}
+
+	loose, err := Explore(ctx, ir, Config{Workers: 1, Hints: looseSource{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Stats.Pruned > ref.Stats.Pruned {
+		t.Fatalf("looser hint pruned more (%d) than default (%d)", loose.Stats.Pruned, ref.Stats.Pruned)
+	}
+	lj, rj := loose.Points, ref.Points
+	if len(lj) != len(rj) {
+		t.Fatalf("looser hint changed the frontier: %d points, want %d", len(lj), len(rj))
+	}
+	lb, _ := json.Marshal(loose.Points)
+	rb, _ := json.Marshal(ref.Points)
+	if !bytes.Equal(lb, rb) {
+		t.Fatal("looser admissible hint changed the frontier points")
+	}
+}

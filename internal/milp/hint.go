@@ -1,0 +1,198 @@
+package milp
+
+import (
+	"lppart/internal/dse"
+	"lppart/internal/partition"
+)
+
+// Hints donates the exact oracle's bound machinery to internal/dse's
+// Pareto search, three ways:
+//
+//  1. Exact suffix floors (dse.BoundHint). Where dse.DefaultHint sums
+//     every per-cluster potential in the suffix — as if the search could
+//     take all of them, conflicts and pick budget notwithstanding —
+//     Hints solves the actual subproblem each bound query poses: the
+//     maximum potential sum over at most k pairwise-non-overlapping
+//     clusters from pool[i:] that also avoid the clusters already picked
+//     on the path. The floors are pointwise <= the default's plain
+//     suffix sums (a constrained maximum of non-negative terms never
+//     exceeds the full sum), so the bound is pointwise tighter.
+//  2. Branch floors (dse.BranchHint): the same subproblem with the
+//     branch's first pick committed, so its floor pays that cluster's
+//     own cheapest GEQ instead of the suffix-wide minimum.
+//  3. Dominance cuts (dse.OptionCut): the solver's presolve — an
+//     implementation pointwise no better than a sibling of the same
+//     cluster is dropped from every configuration.
+//
+// All three only discount infeasible or dominated extensions, so the
+// hinted search prunes at least as hard as the default and returns the
+// identical frontier — the regression pinned by
+// TestHintedFrontierByteIdentical.
+type Hints struct{}
+
+// HintFor solves the per-query cardinality/overlap subproblems over the
+// same per-cluster potentials the default floors aggregate. Returning
+// nil (pools beyond 24 clusters, where the exact subproblem sweeps
+// would outweigh the search itself) falls back to dse.DefaultHint.
+func (Hints) HintFor(in *dse.HintInputs) dse.BoundHint {
+	n := len(in.Pool)
+	if n > 24 {
+		return nil
+	}
+	potE, potC, minGEQ := dse.Potentials(in)
+	h := &exactHint{
+		potE:   potE,
+		potC:   potC,
+		minGEQ: minGEQ,
+		conf:   make([]uint64, n),
+		viable: make([]bool, n),
+		cut:    make([]map[int]bool, n),
+	}
+	for a := 0; a < n; a++ {
+		h.viable[a] = len(in.Viable[a]) > 0
+		for b := a + 1; b < n; b++ {
+			if partition.RegionsOverlap(in.Pool[a].Region, in.Pool[b].Region) {
+				h.conf[a] |= 1 << uint(b)
+				h.conf[b] |= 1 << uint(a)
+			}
+		}
+	}
+
+	// The dominance cuts: within one cluster the implementations are
+	// mutually exclusive, and their per-axis deltas against the shared
+	// baseline are exact, so an option pointwise no better than a
+	// sibling (energy delta EASIC-EMuPSaved — the fetch term is the
+	// cluster's own and cancels — estimated cycles, and GEQ) can be
+	// dropped from every configuration: swapping in the sibling improves
+	// the point pointwise. Exact three-way ties keep the smallest set
+	// index, matching the frontier's deterministic tie-break.
+	for j := 0; j < n; j++ {
+		vs := in.Viable[j]
+		for _, si2 := range vs {
+			e2 := in.Evals[j][si2]
+			dE2 := float64(e2.EASIC) - float64(e2.EMuPSaved)
+			for _, si1 := range vs {
+				if si1 == si2 {
+					continue
+				}
+				e1 := in.Evals[j][si1]
+				dE1 := float64(e1.EASIC) - float64(e1.EMuPSaved)
+				if dE1 > dE2 || e1.EstCycles > e2.EstCycles || e1.GEQ > e2.GEQ {
+					continue
+				}
+				if si1 < si2 || dE1 < dE2 || e1.EstCycles < e2.EstCycles || e1.GEQ < e2.GEQ {
+					if h.cut[j] == nil {
+						h.cut[j] = make(map[int]bool)
+					}
+					h.cut[j][si2] = true
+					break
+				}
+			}
+		}
+	}
+	return h
+}
+
+// CutOption implements dse.OptionCut with the dominance cuts computed
+// by HintFor.
+func (h *exactHint) CutOption(j, si int) bool {
+	return h.cut[j][si]
+}
+
+// exactHint answers each bound query by solving its suffix subproblem
+// exactly: maximize the potential sum over <= k clusters from pool[i:],
+// pairwise non-overlapping and disjoint from the picked path. Every
+// discount is an infeasibility of the real search space, so the floor
+// stays admissible; each query costs an O(n^k) DFS over <= 24 clusters
+// at the search's tiny pick budgets — noise next to the pair pricing.
+type exactHint struct {
+	potE   []float64
+	potC   []int64
+	minGEQ []int
+	conf   []uint64
+	viable []bool
+	cut    []map[int]bool // cluster -> dominated set indices
+}
+
+func (h *exactHint) SuffixFloor(i, k int, picked []int) (float64, int64, int) {
+	if k < 0 {
+		k = 0
+	}
+	var mask uint64
+	for _, j := range picked {
+		mask |= 1 << uint(j)
+		mask |= h.conf[j]
+	}
+	dE := bestSumF(h.potE, h.conf, i, k, mask)
+	dC := bestSumC(h.potC, h.conf, i, k, mask)
+	minG := 0
+	if k > 0 {
+		for j := i; j < len(h.potE); j++ {
+			if mask&(1<<uint(j)) != 0 || !h.viable[j] {
+				continue
+			}
+			if minG == 0 || h.minGEQ[j] < minG {
+				minG = h.minGEQ[j]
+			}
+		}
+	}
+	return dE, dC, minG
+}
+
+// BranchFloor floors the extensions whose first pick is cluster j: the
+// branch commits to j's own potentials and cheapest viable GEQ, plus at
+// most k-1 further non-overlapping picks from pool[j+1:]. Implements
+// dse.BranchHint.
+func (h *exactHint) BranchFloor(j, k int, picked []int) (float64, int64, int) {
+	if k < 1 || !h.viable[j] {
+		// No extension can start with a non-viable cluster; an
+		// all-zero floor keeps the caller's dominance check trivially
+		// true against any already-recorded point.
+		return 0, 0, 0
+	}
+	mask := uint64(1)<<uint(j) | h.conf[j]
+	for _, p := range picked {
+		mask |= 1 << uint(p)
+		mask |= h.conf[p]
+	}
+	dE := h.potE[j] + bestSumF(h.potE, h.conf, j+1, k-1, mask)
+	dC := h.potC[j] + bestSumC(h.potC, h.conf, j+1, k-1, mask)
+	return dE, dC, h.minGEQ[j]
+}
+
+// bestSumF maximizes the sum of at most k non-negative potentials from
+// pot[i:], respecting the pairwise conflict masks and the excluded set
+// in mask. Deterministic ascending-index DFS; cost O(n^k), negligible
+// at the pool sizes and pick budgets the search runs with.
+func bestSumF(pot []float64, conf []uint64, i, k int, mask uint64) float64 {
+	if k == 0 {
+		return 0
+	}
+	best := 0.0
+	for j := i; j < len(pot); j++ {
+		if mask&(1<<uint(j)) != 0 || pot[j] <= 0 {
+			continue
+		}
+		if v := pot[j] + bestSumF(pot, conf, j+1, k-1, mask|conf[j]); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// bestSumC is bestSumF over the integer cycle potentials.
+func bestSumC(pot []int64, conf []uint64, i, k int, mask uint64) int64 {
+	if k == 0 {
+		return 0
+	}
+	var best int64
+	for j := i; j < len(pot); j++ {
+		if mask&(1<<uint(j)) != 0 || pot[j] <= 0 {
+			continue
+		}
+		if v := pot[j] + bestSumC(pot, conf, j+1, k-1, mask|conf[j]); v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,93 @@
+package milp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"lppart/internal/dse"
+)
+
+// TestHintedFrontierByteIdentical is the bound-donor regression: with
+// milp's exact suffix floors, the Pareto search must prune at least as
+// hard as the default hint — on MPG strictly harder than PR 5's
+// recorded 80-of-140 configs — while returning a byte-identical
+// frontier, which the exhaustive (DisableBound) run also pins.
+func TestHintedFrontierByteIdentical(t *testing.T) {
+	p := prepApp(t, "MPG", dse.Config{})
+	ctx := context.Background()
+
+	points := func(f *dse.Frontier) []byte {
+		b, err := json.Marshal(f.Points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	def, err := dse.ExplorePrep(ctx, p, dse.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hinted, err := dse.ExplorePrep(ctx, p, dse.Config{Workers: 1, Hints: Hints{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exhaustive, err := dse.ExplorePrep(ctx, p, dse.Config{Workers: 1, DisableBound: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(points(def), points(hinted)) {
+		t.Fatal("hinted frontier differs from the default run")
+	}
+	if !bytes.Equal(points(def), points(exhaustive)) {
+		t.Fatal("bounded frontier differs from the exhaustive run")
+	}
+	if hinted.Stats.Pruned < def.Stats.Pruned {
+		t.Fatalf("hinted run pruned %d < default %d", hinted.Stats.Pruned, def.Stats.Pruned)
+	}
+	if hinted.Stats.Configs > def.Stats.Configs {
+		t.Fatalf("hinted run evaluated %d configs > default %d", hinted.Stats.Configs, def.Stats.Configs)
+	}
+	// The PR 5 acceptance line: the default bound leaves MPG at 80 of
+	// 140 exhaustive configs (43% pruned); the donated floors must beat
+	// that strictly.
+	if exhaustive.Stats.Configs != 140 {
+		t.Logf("note: exhaustive MPG config count %d (PR 5 recorded 140)", exhaustive.Stats.Configs)
+	}
+	if hinted.Stats.Configs >= 80 {
+		t.Fatalf("hinted run evaluated %d configs on MPG, want < 80 (default: %d, exhaustive: %d)",
+			hinted.Stats.Configs, def.Stats.Configs, exhaustive.Stats.Configs)
+	}
+}
+
+// TestHintedFrontierAllApps widens the byte-identical check to every
+// app at default settings.
+func TestHintedFrontierAllApps(t *testing.T) {
+	for _, name := range []string{"3d", "ckey", "digs", "engine", "trick"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p := prepApp(t, name, dse.Config{})
+			ctx := context.Background()
+			def, err := dse.ExplorePrep(ctx, p, dse.Config{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hinted, err := dse.ExplorePrep(ctx, p, dse.Config{Workers: 1, Hints: Hints{}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, _ := json.Marshal(def.Points)
+			hb, _ := json.Marshal(hinted.Points)
+			if !bytes.Equal(db, hb) {
+				t.Fatal("hinted frontier differs from default")
+			}
+			if hinted.Stats.Pruned < def.Stats.Pruned {
+				t.Fatalf("hinted pruned %d < default %d", hinted.Stats.Pruned, def.Stats.Pruned)
+			}
+		})
+	}
+}

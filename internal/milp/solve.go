@@ -1,0 +1,301 @@
+package milp
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"lppart/internal/cache"
+	"lppart/internal/dse"
+	"lppart/internal/explore"
+	"lppart/internal/units"
+)
+
+// Config parameterizes one exact solve.
+type Config struct {
+	// MaxHW bounds how many clusters one configuration may move to
+	// hardware, mirroring dse.Config.MaxHW. 0 means 2.
+	MaxHW int
+	// Workers bounds the geometry fan-out (<= 0: one per CPU). Results
+	// are byte-identical at any worker count: each geometry's solve is
+	// serial and the fan-out preserves input order.
+	Workers int
+	// Certificate records the bound trail — every expanded and pruned
+	// node — so Check can replay the proof with no trust in the solver.
+	Certificate bool
+	// NodeLimit aborts branch-and-bound after this many priced
+	// configurations (0: unlimited). A limited solve returns the best
+	// incumbent with Stats.Proven=false and no certificate.
+	NodeLimit int64
+	// OnProgress, when set, is called after each geometry finishes with
+	// (completed, total) counts. It may be called concurrently.
+	OnProgress func(done, total int)
+}
+
+// Pick is one cluster→hardware assignment of an optimal configuration.
+type Pick struct {
+	Region   int     `json:"region"`
+	Label    string  `json:"label"`
+	Set      string  `json:"set"`
+	SetIndex int     `json:"set_index"`
+	GEQ      int     `json:"geq"`
+	OF       float64 `json:"of"` // the pick's own Fig. 1 objective value
+}
+
+// SolveStats counts one instance solve's work.
+type SolveStats struct {
+	Nodes    int64 `json:"nodes"`    // configurations priced (search-tree nodes)
+	Expanded int64 `json:"expanded"` // nodes whose children were generated
+	Pruned   int64 `json:"pruned"`   // subtrees cut by the relaxation bound
+	// Proven reports a completed proof: OF is the global minimum. False
+	// only when NodeLimit or cancellation stopped the search early.
+	Proven bool `json:"proven"`
+	// Bound is the certified global lower bound: equal to OF when
+	// Proven, else the smallest open-node bound at abort (OF − Bound is
+	// the residual optimality gap).
+	Bound float64 `json:"bound"`
+}
+
+// Optimum is the provably minimal configuration of one instance.
+type Optimum struct {
+	App    string          `json:"app,omitempty"`
+	Geom   [2]cache.Config `json:"geom"`
+	OF     float64         `json:"of"`
+	Picks  []Pick          `json:"picks"` // empty: all-software is optimal
+	Energy units.Energy    `json:"energy"`
+	Cycles int64           `json:"cycles"`
+	GEQ    int             `json:"geq"`
+	Stats  SolveStats      `json:"stats"`
+
+	// Cert is the bound trail (Config.Certificate), Inst the instance it
+	// proves against; both excluded from JSON rendering by callers that
+	// only need the table.
+	Cert *Certificate `json:"cert,omitempty"`
+	Inst *Instance    `json:"-"`
+}
+
+// pick is the compact (cluster index, option index) pair.
+type pick struct{ j, oi int }
+
+// lexLess orders pick sequences: elementwise by (j, oi), a strict
+// prefix first. The canonical tie-break when two configurations price
+// to the same objective.
+func lexLess(a, b []pick) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			if a[i].j != b[i].j {
+				return a[i].j < b[i].j
+			}
+			return a[i].oi < b[i].oi
+		}
+	}
+	return len(a) < len(b)
+}
+
+// node is one open subproblem: the configuration picked so far plus the
+// suffix Clusters[next:] it may still draw from.
+type node struct {
+	seq   int64 // creation order; deterministic heap tie-break
+	bound float64
+	next  int
+	mask  uint64 // union of picked clusters' conflict masks
+	f     frame
+	picks []pick
+}
+
+// nodeHeap is a best-first min-heap on (bound, seq).
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(a, b int) bool {
+	if h[a].bound != h[b].bound {
+		return h[a].bound < h[b].bound
+	}
+	return h[a].seq < h[b].seq
+}
+func (h nodeHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// SolveInstance runs the serial best-first branch-and-bound to the
+// provable minimum of one instance (or to Config.NodeLimit). Only
+// cfg.Certificate and cfg.NodeLimit are read here; fan-out and MaxHW
+// belong to the instance/driver.
+func SolveInstance(ctx context.Context, in *Instance, cfg Config) (*Optimum, error) {
+	n := len(in.Clusters)
+	if n > 64 {
+		return nil, fmt.Errorf("milp: %d clusters exceed the 64-bit conflict mask", n)
+	}
+	maxPicks := in.maxPicks()
+	r := newRelaxation(in)
+	st := SolveStats{}
+	var cert *Certificate
+	if cfg.Certificate {
+		cert = &Certificate{App: in.App, MaxHW: maxPicks}
+	}
+
+	// The incumbent starts at the empty (all-software) configuration —
+	// always feasible, objective F when E_0 = µP+rest exactly.
+	bestOF := in.objective(frame{})
+	var bestPicks []pick
+	st.Nodes = 1
+
+	h := &nodeHeap{}
+	var seq int64
+	// consider bounds a fresh node and either queues it or records the
+	// prune. Nodes that cannot have children (pick budget exhausted or
+	// suffix empty) need no record: their own configuration was already
+	// priced against the incumbent.
+	consider := func(nd *node) {
+		if len(nd.picks) >= maxPicks || nd.next >= n {
+			return
+		}
+		nd.bound = r.bound(nd.f, nd.next, len(nd.picks))
+		if nd.bound >= bestOF {
+			st.Pruned++
+			cert.prune(nd)
+			return
+		}
+		nd.seq = seq
+		seq++
+		heap.Push(h, nd)
+	}
+	consider(&node{})
+
+	limited := false
+	for h.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		nd := heap.Pop(h).(*node)
+		if nd.bound >= bestOF {
+			// The incumbent improved since this node was queued. The heap
+			// is bound-ordered, so every remaining open node is proven
+			// dominated too: drain them all into the certificate.
+			st.Pruned++
+			cert.prune(nd)
+			for h.Len() > 0 {
+				st.Pruned++
+				cert.prune(heap.Pop(h).(*node))
+			}
+			break
+		}
+		if cfg.NodeLimit > 0 && st.Nodes >= cfg.NodeLimit {
+			// Aborted: report the residual gap, drop the (incomplete)
+			// certificate.
+			limited = true
+			st.Bound = nd.bound
+			break
+		}
+		st.Expanded++
+		cert.expand(nd, in.objective(nd.f))
+		for j := nd.next; j < n; j++ {
+			if nd.mask&(1<<uint(j)) != 0 {
+				continue
+			}
+			for oi := range in.Clusters[j].Options {
+				st.Nodes++
+				child := &node{
+					next:  j + 1,
+					mask:  nd.mask | in.Clusters[j].Conflicts,
+					f:     in.add(nd.f, j, oi),
+					picks: append(append(make([]pick, 0, len(nd.picks)+1), nd.picks...), pick{j, oi}),
+				}
+				of := in.objective(child.f)
+				if of < bestOF || (of == bestOF && lexLess(child.picks, bestPicks)) {
+					bestOF = of
+					bestPicks = child.picks
+				}
+				consider(child)
+			}
+		}
+	}
+	st.Proven = !limited
+	if st.Proven {
+		st.Bound = bestOF
+	} else {
+		cert = nil
+	}
+
+	f := in.replay(bestPicks)
+	e, c, g := in.point(f)
+	opt := &Optimum{
+		App:    in.App,
+		Geom:   in.Geom,
+		OF:     bestOF,
+		Energy: units.Energy(e),
+		Cycles: c,
+		GEQ:    g,
+		Stats:  st,
+		Inst:   in,
+	}
+	for _, p := range bestPicks {
+		cl := &in.Clusters[p.j]
+		o := &cl.Options[p.oi]
+		opt.Picks = append(opt.Picks, Pick{
+			Region: cl.Region, Label: cl.Label,
+			Set: o.Set, SetIndex: o.SetIndex, GEQ: o.GEQ, OF: o.OF,
+		})
+	}
+	if cert != nil {
+		cert.OF = bestOF
+		cert.Picks = certPicks(bestPicks)
+		cert.Nodes = st.Nodes
+		opt.Cert = cert
+	}
+	return opt, nil
+}
+
+// Result is one application's exact optima, one per cache geometry.
+// Objectives are normalized per geometry (each against its own E_0/T_0),
+// so OF values compare within a geometry — greedy vs exact — not across
+// geometries; cross-geometry comparisons use the objective triples.
+type Result struct {
+	App    string     `json:"app"`
+	Optima []*Optimum `json:"optima"`
+}
+
+// Solve builds and exactly solves one instance per prepared geometry.
+// The Prep supplies the measurement, the shared evaluator memo and the
+// per-geometry baselines, so milp prices the identical floats the
+// Pareto search does.
+func Solve(ctx context.Context, p *dse.Prep, cfg Config) (*Result, error) {
+	if cfg.MaxHW <= 0 {
+		cfg.MaxHW = 2
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = explore.DefaultWorkers()
+	}
+	total := len(p.Geoms)
+	var done atomic.Int64
+	optima, err := explore.MapCtx(ctx, cfg.Workers, p.Geoms, func(gi int, g [2]cache.Config) (*Optimum, error) {
+		in, err := BuildInstance(p.Delta, p.Bases[gi], g, cfg.MaxHW)
+		if err != nil {
+			return nil, err
+		}
+		in.App = p.IR.Name
+		o, err := SolveInstance(ctx, in, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.OnProgress != nil {
+			cfg.OnProgress(int(done.Add(1)), total)
+		}
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{App: p.IR.Name, Optima: optima}, nil
+}

@@ -1,0 +1,139 @@
+package milp
+
+import (
+	"context"
+	"testing"
+)
+
+// trapInstance is the hand-built case where greedy is provably
+// suboptimal: cluster A has the single best pick, but overlaps both B
+// and C, whose disjoint combination beats it.
+//
+//	A: saves 45 of 100 µP energy units → single-pick OF 105/150 = 0.70
+//	B, C: save 30 each                 → single-pick OF 120/150 = 0.80
+//	B+C: saves 60                      → OF 90/150 = 0.60 (optimal)
+//
+// Greedy takes A (minimum single-pick OF), blocking B and C.
+func trapInstance() *Instance {
+	in := &Instance{
+		App:  "trap",
+		MuPE: 100, RestE: 50, IAcc: 0, E0: 150, T0: 1000,
+		F: 1, HardwareWeight: 0, TimeWeight: 1, GEQBudget: 16000,
+		MaxHW: 2,
+		Clusters: []Cluster{
+			{Region: 1, Label: "A", Options: []Option{{Set: "s", Saved: 45, OF: 0.70, GEQ: 100}}},
+			{Region: 2, Label: "B", Options: []Option{{Set: "s", Saved: 30, OF: 0.80, GEQ: 100}}},
+			{Region: 3, Label: "C", Options: []Option{{Set: "s", Saved: 30, OF: 0.80, GEQ: 100}}},
+		},
+	}
+	in.SetOverlap(0, 1)
+	in.SetOverlap(0, 2)
+	return in
+}
+
+// TestGreedySuboptimalInstance: the solver must find the B+C optimum
+// greedy provably misses, with a checking certificate, and brute force
+// must agree.
+func TestGreedySuboptimalInstance(t *testing.T) {
+	in := trapInstance()
+	gOF, gj, _ := in.Greedy()
+	if gj != 0 {
+		t.Fatalf("greedy picked cluster %d, want A (0)", gj)
+	}
+	opt, err := SolveInstance(context.Background(), in, Config{Certificate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Picks) != 2 || opt.Picks[0].Label != "B" || opt.Picks[1].Label != "C" {
+		t.Fatalf("solver picks %+v, want B+C", opt.Picks)
+	}
+	if want := in.objective(in.replay([]pick{{1, 0}, {2, 0}})); opt.OF != want {
+		t.Fatalf("solver OF %v, want %v", opt.OF, want)
+	}
+	if opt.OF >= gOF {
+		t.Fatalf("solver OF %v not strictly better than greedy %v", opt.OF, gOF)
+	}
+	ref := BruteForce(in)
+	if ref.OF != opt.OF || ref.GEQ != opt.GEQ {
+		t.Fatalf("brute force OF %v != solver %v", ref.OF, opt.OF)
+	}
+	if err := Check(in, opt.Cert); err != nil {
+		t.Fatalf("certificate: %v", err)
+	}
+}
+
+// TestCheckRejectsForgery: a tampered certificate — better claimed
+// optimum, weakened bound, or truncated trail — must fail to verify.
+func TestCheckRejectsForgery(t *testing.T) {
+	in := trapInstance()
+	opt, err := SolveInstance(context.Background(), in, Config{Certificate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(in, opt.Cert); err != nil {
+		t.Fatalf("genuine certificate rejected: %v", err)
+	}
+
+	forged := *opt.Cert
+	forged.OF = opt.Cert.OF - 0.01 // claim an unachievable optimum
+	if Check(in, &forged) == nil {
+		t.Fatal("Check accepted a forged (lowered) optimum claim")
+	}
+
+	forged = *opt.Cert
+	forged.OF = opt.Cert.OF + 0.01 // claim worse than an actual config
+	forged.Picks = nil             // the empty config prices to F, not OF+0.01
+	if Check(in, &forged) == nil {
+		t.Fatal("Check accepted a forged (raised) optimum claim")
+	}
+
+	if len(opt.Cert.Expanded) > 0 {
+		forged = *opt.Cert
+		forged.Expanded = forged.Expanded[:len(forged.Expanded)-1]
+		if Check(in, &forged) == nil {
+			t.Fatal("Check accepted a truncated trail")
+		}
+	}
+
+	if Check(in, nil) == nil {
+		t.Fatal("Check accepted a nil certificate")
+	}
+}
+
+// TestNodeLimit: an aborted solve must say so — Proven false, a bound
+// below or at the incumbent, and no certificate.
+func TestNodeLimit(t *testing.T) {
+	in := trapInstance()
+	opt, err := SolveInstance(context.Background(), in, Config{Certificate: true, NodeLimit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Stats.Proven {
+		t.Fatal("limited solve claims a proof")
+	}
+	if opt.Cert != nil {
+		t.Fatal("limited solve emitted a certificate")
+	}
+	if opt.Stats.Bound > opt.OF {
+		t.Fatalf("reported bound %v above incumbent %v", opt.Stats.Bound, opt.OF)
+	}
+	full, err := SolveInstance(context.Background(), in, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.OF < opt.Stats.Bound {
+		t.Fatalf("true optimum %v below the reported bound %v", full.OF, opt.Stats.Bound)
+	}
+}
+
+// TestBoundAdmissibleOnTrap: the relaxation at the root must not exceed
+// the true optimum.
+func TestBoundAdmissibleOnTrap(t *testing.T) {
+	in := trapInstance()
+	r := newRelaxation(in)
+	b := r.bound(frame{}, 0, 0)
+	opt := BruteForce(in)
+	if b > opt.OF {
+		t.Fatalf("root bound %v exceeds the optimum %v", b, opt.OF)
+	}
+}

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"lppart/internal/cdfg"
+	"lppart/internal/dse"
+	"lppart/internal/milp"
+)
+
+// ExactRequest is the body of POST /v1/exact: the same tuple as an
+// exploration request, but solved to the certified exact optimum per
+// cache geometry instead of searched for a Pareto frontier. The
+// endpoint is asynchronous — the response carries a job ID to poll —
+// and the two endpoints never deduplicate onto each other's jobs.
+type ExactRequest = ExploreRequest
+
+// ExactOptimum is one geometry's proven minimum on the wire, paired
+// with the Fig. 1 greedy objective it is measured against. The bound
+// trail itself stays server-side: the worker re-checks every
+// certificate with milp.Check before finishing the job, and Certified
+// in the enclosing ExactBody reports that the replay succeeded.
+type ExactOptimum struct {
+	milp.Optimum
+	GreedyOF float64 `json:"greedy_of"`
+	// GapPct is 100*(greedy-exact)/greedy: how far the paper's greedy
+	// round lands from the provable minimum on this geometry.
+	GapPct float64 `json:"gap_pct"`
+}
+
+// ExactBody is a finished exact solve on the wire.
+type ExactBody struct {
+	App            string         `json:"app"`
+	Optima         []ExactOptimum `json:"optima"`
+	Certified      bool           `json:"certified"`
+	CacheSignature string         `json:"request_key"`
+}
+
+func (s *Server) handleExact(w http.ResponseWriter, r *http.Request) {
+	start := time.Now() //lint:nondet latency metric only; never in a response body
+	var req ExactRequest
+	if aerr := s.decodeBody(w, r, &req); aerr != nil {
+		writeResult(w, errResult(aerr))
+		s.observe("exact", "bad_request", start)
+		return
+	}
+	in, key, aerr := req.canonicalize("exact/v1", s.cfg.MaxSourceBytes)
+	if aerr != nil {
+		writeResult(w, errResult(aerr))
+		s.observe("exact", "bad_request", start)
+		return
+	}
+	// The job is server-owned from birth: bounded by the configured
+	// timeout, cancelled by Abort or DELETE, independent of this request.
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.Timeout)
+	snap, created, err := s.jobs.Create(key, cancel)
+	if err != nil {
+		cancel()
+		res := errResult(&apiError{Status: http.StatusTooManyRequests, Err: "job table full"})
+		writeResult(w, res)
+		s.observe("exact", "shed_queue", start)
+		return
+	}
+	if !created {
+		cancel()
+		res := &flightResult{status: http.StatusOK, body: jsonBody(jobBody("exact", snap, true))}
+		writeResult(w, res)
+		s.observe("exact", "ok", start)
+		return
+	}
+	go s.runExact(ctx, cancel, snap.ID, &req, in, key)
+	res := &flightResult{status: http.StatusAccepted, body: jsonBody(jobBody("exact", snap, false))}
+	writeResult(w, res)
+	s.observe("exact", "ok", start)
+}
+
+// runExact is the job's worker goroutine: it queues for an admission
+// slot like every synchronous evaluation, then measures and solves
+// serially inside that one slot. Every geometry is solved with a
+// certificate and the certificate is replayed with milp.Check before
+// the job finishes, so a "done" job carries only re-proven optima.
+func (s *Server) runExact(ctx context.Context, cancel context.CancelFunc, id string,
+	req *ExactRequest, in *exploreInputs, key string) {
+	defer cancel()
+	if aerr := s.adm.acquire(ctx); aerr != nil {
+		switch aerr {
+		case errQueueFull:
+			s.jobs.Fail(id, "queue full")
+		case errDraining:
+			s.jobs.Fail(id, "draining")
+		default:
+			s.jobs.Fail(id, "deadline exceeded while queued")
+		}
+		return
+	}
+	defer s.adm.release()
+	if !s.jobs.Start(id) {
+		return // canceled while queued
+	}
+	ir, err := cdfg.Build(in.prog)
+	if err != nil {
+		s.jobs.Fail(id, err.Error())
+		return
+	}
+	dcfg := dse.Config{
+		Geometries: in.geoms,
+		MaxHW:      req.MaxHW,
+		Workers:    1,
+	}
+	dcfg.Sys.MaxInstrs = s.cfg.MaxInstrs
+	dcfg.Sys.Part.F = req.F
+	dcfg.Sys.Part.MaxClusters = req.MaxClusters
+	dcfg.Sys.Part.GEQBudget = req.GEQBudget
+	dcfg.Sys.Part.ResourceSets = in.sets
+	dcfg.Sys.Part.Verify = req.Verify
+	prep, err := dse.Prepare(ctx, ir, dcfg)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.jobs.Fail(id, "exact solve deadline exceeded")
+			return
+		}
+		s.jobs.Fail(id, err.Error())
+		return
+	}
+	res, err := milp.Solve(ctx, prep, milp.Config{
+		MaxHW:       req.MaxHW,
+		Workers:     1,
+		Certificate: true,
+		OnProgress:  func(done, total int) { s.jobs.Progress(id, done, total) },
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			s.jobs.Fail(id, "exact solve deadline exceeded")
+			return
+		}
+		s.jobs.Fail(id, err.Error())
+		return
+	}
+	optima := make([]ExactOptimum, 0, len(res.Optima))
+	for _, o := range res.Optima {
+		if cerr := milp.Check(o.Inst, o.Cert); cerr != nil {
+			s.jobs.Fail(id, "certificate replay failed: "+cerr.Error())
+			return
+		}
+		gOF, _, _ := o.Inst.Greedy()
+		gap := 0.0
+		if gOF != 0 {
+			gap = 100 * (gOF - o.OF) / gOF
+		}
+		wire := *o
+		wire.Cert = nil // proof replayed above; the trail stays server-side
+		wire.Inst = nil
+		optima = append(optima, ExactOptimum{Optimum: wire, GreedyOF: gOF, GapPct: gap})
+	}
+	body, merr := json.Marshal(&ExactBody{
+		App:            res.App,
+		Optima:         optima,
+		Certified:      true,
+		CacheSignature: key,
+	})
+	if merr != nil {
+		s.jobs.Fail(id, "exact result not marshalable: "+merr.Error())
+		return
+	}
+	s.jobs.Finish(id, body)
+}
+
+func (s *Server) handleExactGet(w http.ResponseWriter, r *http.Request) {
+	start := time.Now() //lint:nondet latency metric only; never in a response body
+	snap, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		res := errResult(&apiError{Status: http.StatusNotFound, Err: "unknown job"})
+		writeResult(w, res)
+		s.observe("exact", outcomeOf(res), start)
+		return
+	}
+	res := &flightResult{status: http.StatusOK, body: jsonBody(jobBody("exact", snap, false))}
+	writeResult(w, res)
+	s.observe("exact", "ok", start)
+}
+
+func (s *Server) handleExactDelete(w http.ResponseWriter, r *http.Request) {
+	start := time.Now() //lint:nondet latency metric only; never in a response body
+	snap, ok := s.jobs.Delete(r.PathValue("id"))
+	if !ok {
+		res := errResult(&apiError{Status: http.StatusNotFound, Err: "unknown job"})
+		writeResult(w, res)
+		s.observe("exact", outcomeOf(res), start)
+		return
+	}
+	res := &flightResult{status: http.StatusOK, body: jsonBody(jobBody("exact", snap, false))}
+	writeResult(w, res)
+	s.observe("exact", "ok", start)
+}

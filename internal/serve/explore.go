@@ -99,8 +99,10 @@ func resolveGeometries(specs []GeometrySpec) ([][2]cache.Config, error) {
 }
 
 // canonicalize validates the explore request and returns the resolved
-// inputs plus the job dedupe key.
-func (req *ExploreRequest) canonicalize(maxSourceBytes int) (*exploreInputs, string, *apiError) {
+// inputs plus the job dedupe key. kind versions the key space: the
+// explore and exact endpoints accept the same body but must never
+// deduplicate onto each other's jobs.
+func (req *ExploreRequest) canonicalize(kind string, maxSourceBytes int) (*exploreInputs, string, *apiError) {
 	prog, srcSHA, aerr := parseSource(req.App, req.Source, maxSourceBytes)
 	if aerr != nil {
 		return nil, "", aerr
@@ -120,7 +122,7 @@ func (req *ExploreRequest) canonicalize(maxSourceBytes int) (*exploreInputs, str
 		return nil, "", badRequest(err.Error())
 	}
 	c := canonExplore{
-		Kind:        "explore/v1",
+		Kind:        kind,
 		App:         req.App,
 		SourceSHA:   srcSHA,
 		F:           req.F,
@@ -175,8 +177,9 @@ type FrontierBody struct {
 	CacheSignature string      `json:"request_key"`
 }
 
-// JobBody is an explore job's state on the wire: the POST, GET and
-// DELETE responses all render it, so pollers parse one shape.
+// JobBody is an async job's state on the wire: the POST, GET and
+// DELETE responses of both job endpoints render it, so pollers parse
+// one shape.
 type JobBody struct {
 	JobID string `json:"job_id"`
 	State string `json:"state"`
@@ -187,23 +190,32 @@ type JobBody struct {
 	Error string `json:"error,omitempty"`
 	// Existing marks a POST deduplicated onto an earlier identical job.
 	Existing bool `json:"existing,omitempty"`
-	// Frontier is the finished result (a FrontierBody), present once
-	// State is "done".
+	// Frontier is a finished exploration (a FrontierBody), present once
+	// an explore job's State is "done".
 	Frontier json.RawMessage `json:"frontier,omitempty"`
+	// Exact is a finished exact solve (an ExactBody), present once an
+	// exact job's State is "done".
+	Exact json.RawMessage `json:"exact,omitempty"`
 }
 
-// jobBody renders one snapshot.
-func jobBody(snap jobs.Snapshot, existing bool) *JobBody {
-	return &JobBody{
+// jobBody renders one snapshot for the named job endpoint ("explore"
+// or "exact"), which picks the poll path and the result field.
+func jobBody(endpoint string, snap jobs.Snapshot, existing bool) *JobBody {
+	b := &JobBody{
 		JobID:    snap.ID,
 		State:    snap.State.String(),
 		Done:     snap.Done,
 		Total:    snap.Total,
-		Poll:     "/v1/explore/" + snap.ID,
+		Poll:     "/v1/" + endpoint + "/" + snap.ID,
 		Error:    snap.Error,
 		Existing: existing,
-		Frontier: snap.Result,
 	}
+	if endpoint == "exact" {
+		b.Exact = snap.Result
+	} else {
+		b.Frontier = snap.Result
+	}
+	return b
 }
 
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
@@ -214,7 +226,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		s.observe("explore", "bad_request", start)
 		return
 	}
-	in, key, aerr := req.canonicalize(s.cfg.MaxSourceBytes)
+	in, key, aerr := req.canonicalize("explore/v1", s.cfg.MaxSourceBytes)
 	if aerr != nil {
 		writeResult(w, errResult(aerr))
 		s.observe("explore", "bad_request", start)
@@ -233,13 +245,13 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	if !created {
 		cancel()
-		res := &flightResult{status: http.StatusOK, body: jsonBody(jobBody(snap, true))}
+		res := &flightResult{status: http.StatusOK, body: jsonBody(jobBody("explore", snap, true))}
 		writeResult(w, res)
 		s.observe("explore", "ok", start)
 		return
 	}
 	go s.runExplore(ctx, cancel, snap.ID, &req, in, key)
-	res := &flightResult{status: http.StatusAccepted, body: jsonBody(jobBody(snap, false))}
+	res := &flightResult{status: http.StatusAccepted, body: jsonBody(jobBody("explore", snap, false))}
 	writeResult(w, res)
 	s.observe("explore", "ok", start)
 }
@@ -315,7 +327,7 @@ func (s *Server) handleExploreGet(w http.ResponseWriter, r *http.Request) {
 		s.observe("explore", outcomeOf(res), start)
 		return
 	}
-	res := &flightResult{status: http.StatusOK, body: jsonBody(jobBody(snap, false))}
+	res := &flightResult{status: http.StatusOK, body: jsonBody(jobBody("explore", snap, false))}
 	writeResult(w, res)
 	s.observe("explore", "ok", start)
 }
@@ -329,7 +341,7 @@ func (s *Server) handleExploreDelete(w http.ResponseWriter, r *http.Request) {
 		s.observe("explore", outcomeOf(res), start)
 		return
 	}
-	res := &flightResult{status: http.StatusOK, body: jsonBody(jobBody(snap, false))}
+	res := &flightResult{status: http.StatusOK, body: jsonBody(jobBody("explore", snap, false))}
 	writeResult(w, res)
 	s.observe("explore", "ok", start)
 }

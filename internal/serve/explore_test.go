@@ -57,10 +57,15 @@ func decodeJob(t *testing.T, b []byte) *JobBody {
 
 // pollJob polls GET /v1/explore/{id} until the job is terminal.
 func pollJob(t *testing.T, base, id string) *JobBody {
+	return pollJobAt(t, base+"/v1/explore/", id)
+}
+
+// pollJobAt polls one job endpoint until the job is terminal.
+func pollJobAt(t *testing.T, prefix, id string) *JobBody {
 	t.Helper()
 	deadline := time.Now().Add(120 * time.Second)
 	for {
-		st, b := get(t, base+"/v1/explore/"+id)
+		st, b := get(t, prefix+id)
 		if st != 200 {
 			t.Fatalf("poll %s: status %d: %s", id, st, b)
 		}

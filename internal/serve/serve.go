@@ -16,9 +16,12 @@
 //
 // Endpoints: POST /v1/partition (full decision trail + Table 1 row,
 // optional server-side verification), POST /v1/sweep (cache-geometry
-// sweep via the single-pass stack-distance profiler), GET /v1/apps
-// (the built-in Table 1 applications), plus /healthz, /readyz and a
-// Prometheus-text /metrics.
+// sweep via the single-pass stack-distance profiler), the async job
+// pair POST /v1/explore (branch-and-bound Pareto frontier) and POST
+// /v1/exact (certified exact optimum per geometry via the milp
+// oracle, certificates replayed server-side before the job finishes),
+// GET /v1/apps (the built-in Table 1 applications), plus /healthz,
+// /readyz and a Prometheus-text /metrics.
 package serve
 
 import (
@@ -125,7 +128,7 @@ type Server struct {
 
 // endpoints and outcomes instrumented up front, so the /metrics
 // exposition is complete (all-zero) from the first scrape.
-var endpointNames = []string{"partition", "sweep", "explore", "apps", "version"}
+var endpointNames = []string{"partition", "sweep", "explore", "exact", "apps", "version"}
 
 var outcomeNames = []string{
 	"ok", "cache_hit", "shed_queue", "shed_drain", "deadline",
@@ -174,7 +177,7 @@ func New(cfg Config) *Server {
 		func() float64 { return float64(s.cache.len()) })
 	for _, st := range []jobs.State{jobs.Queued, jobs.Running, jobs.Done, jobs.Failed} {
 		st := st
-		s.reg.GaugeFunc("lppartd_jobs", "exploration jobs by state",
+		s.reg.GaugeFunc("lppartd_jobs", "async explore/exact jobs by state",
 			metrics.Labels("state", st.String()),
 			func() float64 { return float64(s.jobs.Count(st)) })
 	}
@@ -184,6 +187,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
 	s.mux.HandleFunc("GET /v1/explore/{id}", s.handleExploreGet)
 	s.mux.HandleFunc("DELETE /v1/explore/{id}", s.handleExploreDelete)
+	s.mux.HandleFunc("POST /v1/exact", s.handleExact)
+	s.mux.HandleFunc("GET /v1/exact/{id}", s.handleExactGet)
+	s.mux.HandleFunc("DELETE /v1/exact/{id}", s.handleExactDelete)
 	s.mux.HandleFunc("GET /v1/apps", s.handleApps)
 	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
