@@ -1,0 +1,353 @@
+// Cluster benchmark mode (-cluster N): boot an N-node exploration
+// cluster in-process, push every built-in application's frontier
+// through POST /v1/cluster on the coordinator, and report wall-clock,
+// speedup vs a 1-node baseline, and the bound-sharing work reduction
+// as BENCH_cluster.json. With -frontier-out the merged Pareto points
+// are also written as deterministic JSON, so CI can byte-diff a 1-node
+// run against a 3-node run.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"lppart/internal/cluster"
+	"lppart/internal/serve"
+)
+
+// clusterTimeout bounds one cluster job. Frontier searches are seconds
+// on a laptop but the benchmark must also survive a loaded 1-vCPU CI
+// runner, so the bound is generous.
+const clusterTimeout = 15 * time.Minute
+
+// benchApps is the benchmarked application set: the six Table 1 rows.
+var benchApps = []string{"3d", "MPG", "ckey", "digs", "engine", "trick"}
+
+// runClusterMode executes the -cluster benchmark and writes its
+// artifacts; it exits the process on failure.
+func runClusterMode(nodes, workers int, out, frontierOut string) {
+	res, ff, err := runClusterBench(nodes, workers, benchApps, frontierOut != "")
+	if err != nil {
+		fatal(err)
+	}
+	if out == "BENCH_serve.json" {
+		// The load bench's default filename would mislabel this report.
+		out = "BENCH_cluster.json"
+	}
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	b = append(b, '\n')
+	os.Stdout.Write(b) //lint:err stdout write, nothing to recover on failure
+	if out != "-" {
+		if err := os.WriteFile(out, b, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if frontierOut != "" {
+		if err := os.WriteFile(frontierOut, ff, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// benchSwapHandler lets the benchmark bind all N listeners (fixing the
+// peer URL list) before any of the N servers that need that list exist.
+type benchSwapHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *benchSwapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *benchSwapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	if h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// clusterAppRun is one application's accounting in the report.
+type clusterAppRun struct {
+	Points int     `json:"points"`
+	Shards int     `json:"shards"`
+	WallS  float64 `json:"wall_s"`
+}
+
+// clusterResult is the BENCH_cluster.json schema.
+type clusterResult struct {
+	Nodes   int     `json:"nodes"`
+	Workers int     `json:"workers_per_node"`
+	CPUs    int     `json:"cpus"`
+	WallS   float64 `json:"wall_s"`
+	// Wall1S and Speedup compare against a fresh 1-node baseline over
+	// the same requests; both are present only when Nodes > 1. On a
+	// single-CPU host the N processes time-share one core, so Speedup
+	// reflects scheduling overhead there and real fan-out only when
+	// CPUs >= Nodes.
+	Wall1S  float64 `json:"wall_1_s,omitempty"`
+	Speedup float64 `json:"speedup,omitempty"`
+	// SharedConfigs vs NoShareConfigs: priced cache configurations with
+	// incumbent donation on vs off. Both are deterministic work counters
+	// summed over accepted shards, so their ratio is the bound-sharing
+	// effect isolated from timing noise.
+	SharedConfigs  int64                    `json:"shared_configs"`
+	NoShareConfigs int64                    `json:"noshare_configs"`
+	PrunedRemote   int64                    `json:"pruned_remote"`
+	Steals         int                      `json:"steals"`
+	Broadcasts     int                      `json:"broadcasts"`
+	Apps           map[string]clusterAppRun `json:"apps"`
+}
+
+// clusterBody mirrors serve.ClusterBody but keeps the points as raw
+// bytes, so the -frontier-out file carries the server's exact encoding
+// (the byte-diff contract must not depend on a client-side re-marshal).
+type clusterBody struct {
+	App    string          `json:"app"`
+	Points json.RawMessage `json:"points"`
+	Shards int             `json:"shards"`
+	Report *cluster.Report `json:"report"`
+}
+
+// bootClusterNodes starts n lppartd nodes on ephemeral loopback ports,
+// every node knowing the full peer list and node 0 coordinating.
+func bootClusterNodes(n, workers int) (peers []string, shutdown func(), err error) {
+	swaps := make([]*benchSwapHandler, n)
+	servers := make([]*http.Server, n)
+	peers = make([]string, n)
+	shutdown = func() {
+		for _, hs := range servers {
+			if hs != nil {
+				hs.Close() //lint:err benchmark teardown, nothing to recover
+			}
+		}
+	}
+	for i := range swaps {
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			shutdown()
+			return nil, nil, lerr
+		}
+		swaps[i] = &benchSwapHandler{}
+		servers[i] = &http.Server{Handler: swaps[i]}
+		go servers[i].Serve(ln) //lint:err Serve returns ErrServerClosed on shutdown
+		peers[i] = "http://" + ln.Addr().String()
+	}
+	for i := range swaps {
+		cfg := serve.Config{
+			Workers:     workers,
+			Timeout:     clusterTimeout,
+			Peers:       peers,
+			Self:        peers[i],
+			Coordinator: i == 0,
+		}
+		if n == 1 {
+			// A true standalone node: no ring, no proxying, pure local.
+			cfg.Peers, cfg.Self = nil, ""
+		}
+		swaps[i].set(serve.New(cfg).Handler())
+	}
+	return peers, shutdown, nil
+}
+
+// runClusterJob POSTs one /v1/cluster request to the coordinator and
+// polls it to completion.
+func runClusterJob(base string, body []byte) (*clusterBody, time.Duration, error) {
+	t0 := time.Now()
+	var jb serve.JobBody
+	if err := postJSON(base+"/v1/cluster", body, &jb); err != nil {
+		return nil, 0, err
+	}
+	deadline := time.Now().Add(clusterTimeout)
+	for jb.State == "queued" || jb.State == "running" {
+		if time.Now().After(deadline) {
+			return nil, 0, fmt.Errorf("cluster job %s: timed out", jb.JobID)
+		}
+		time.Sleep(25 * time.Millisecond)
+		if err := getJSON(base+"/v1/cluster/"+jb.JobID, &jb); err != nil {
+			return nil, 0, err
+		}
+	}
+	wall := time.Since(t0)
+	if jb.State != "done" {
+		return nil, 0, fmt.Errorf("cluster job %s: state %s: %s", jb.JobID, jb.State, jb.Error)
+	}
+	var cb clusterBody
+	if err := json.Unmarshal(jb.Cluster, &cb); err != nil {
+		return nil, 0, fmt.Errorf("cluster body: %w", err)
+	}
+	return &cb, wall, nil
+}
+
+func postJSON(url string, body []byte, out any) error {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return decodeJSON(resp, out)
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return decodeJSON(resp, out)
+}
+
+func decodeJSON(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("%s: status %d: %s", resp.Request.URL, resp.StatusCode, b)
+	}
+	return json.Unmarshal(b, out)
+}
+
+// clusterPass runs every app through one fleet and returns per-app
+// bodies and wall times; the pass total is the sum of the walls.
+func clusterPass(base string, apps []string, noShare bool) (map[string]*clusterBody, map[string]time.Duration, error) {
+	bodies := make(map[string]*clusterBody, len(apps))
+	walls := make(map[string]time.Duration, len(apps))
+	for _, app := range apps {
+		req, err := json.Marshal(&serve.ClusterRequest{
+			ExploreRequest: serve.ExploreRequest{App: app},
+			NoShare:        noShare,
+			Report:         true,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		cb, wall, err := runClusterJob(base, req)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", app, err)
+		}
+		bodies[app] = cb
+		walls[app] = wall
+	}
+	return bodies, walls, nil
+}
+
+func sumWalls(walls map[string]time.Duration) time.Duration {
+	var total time.Duration
+	for _, w := range walls {
+		total += w
+	}
+	return total
+}
+
+// runClusterBench is the -cluster entry point. It returns the report
+// and the frontier file bytes (nil when frontierOut is empty).
+func runClusterBench(nodes, workers int, apps []string, frontierOut bool) (*clusterResult, []byte, error) {
+	res := &clusterResult{
+		Nodes:   nodes,
+		Workers: workers,
+		CPUs:    runtime.NumCPU(),
+		Apps:    make(map[string]clusterAppRun, len(apps)),
+	}
+
+	peers, shutdown, err := bootClusterNodes(nodes, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer shutdown()
+
+	// Pass 1 — the measured fleet run, bound sharing on.
+	bodies, walls, err := clusterPass(peers[0], apps, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.WallS = sumWalls(walls).Seconds()
+	frontiers := make(map[string]json.RawMessage, len(apps))
+	for _, app := range apps {
+		cb := bodies[app]
+		var pts []json.RawMessage
+		if err := json.Unmarshal(cb.Points, &pts); err != nil {
+			return nil, nil, fmt.Errorf("%s points: %w", app, err)
+		}
+		res.Apps[app] = clusterAppRun{
+			Points: len(pts),
+			Shards: cb.Shards,
+			WallS:  walls[app].Seconds(),
+		}
+		if cb.Report != nil {
+			res.SharedConfigs += cb.Report.Configs
+			res.PrunedRemote += cb.Report.PrunedRemote
+			res.Steals += cb.Report.Steals
+			res.Broadcasts += cb.Report.Broadcasts
+		}
+		frontiers[app] = cb.Points
+	}
+
+	// Pass 2 — same fleet, incumbent donation off: the deterministic
+	// priced-configuration counter isolates what bound sharing saves.
+	noShareBodies, _, err := clusterPass(peers[0], apps, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, app := range apps {
+		cb := noShareBodies[app]
+		if cb.Report != nil {
+			res.NoShareConfigs += cb.Report.Configs
+		}
+		if !bytes.Equal(cb.Points, bodies[app].Points) {
+			return nil, nil, fmt.Errorf("%s: no-share frontier differs from shared frontier", app)
+		}
+	}
+
+	// Pass 3 — a fresh 1-node baseline for the speedup headline.
+	if nodes > 1 {
+		soloPeers, soloShutdown, err := bootClusterNodes(1, workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer soloShutdown()
+		soloBodies, soloWalls, err := clusterPass(soloPeers[0], apps, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Wall1S = sumWalls(soloWalls).Seconds()
+		if res.WallS > 0 {
+			res.Speedup = res.Wall1S / res.WallS
+		}
+		for _, app := range apps {
+			if !bytes.Equal(soloBodies[app].Points, bodies[app].Points) {
+				return nil, nil, fmt.Errorf("%s: 1-node frontier differs from %d-node frontier", app, nodes)
+			}
+		}
+	}
+
+	var ff []byte
+	if frontierOut {
+		// The frontier file is a pure function of the requests: app names
+		// sorted by encoding/json's map ordering, points verbatim from the
+		// server. Byte-diffing two of these is the cluster's determinism
+		// gate.
+		ff, err = json.MarshalIndent(frontiers, "", "  ")
+		if err != nil {
+			return nil, nil, err
+		}
+		ff = append(ff, '\n')
+	}
+	return res, ff, nil
+}

@@ -9,10 +9,17 @@
 //	lppartbench                          # spawn an in-process server and bench it
 //	lppartbench -url=http://host:8095    # bench a running lppartd
 //	lppartbench -clients=16 -duration=10s -out=BENCH_serve.json
+//	lppartbench -cluster=3 -frontier-out=frontier.json
+//	                                     # boot a 3-node exploration cluster,
+//	                                     # run every app's frontier through it
 //
 // By default the benchmark spawns its own server (4 workers, 1024 cache
 // entries) on an ephemeral local port, so one command reproduces the
-// repo's BENCH_serve.json numbers.
+// repo's BENCH_serve.json numbers. With -cluster=N it instead boots an
+// N-node exploration cluster and writes BENCH_cluster.json (wall clock,
+// 1-node speedup, bound-sharing work reduction); -frontier-out captures
+// the merged Pareto points as deterministic JSON for byte-diffing runs
+// at different node counts.
 package main
 
 import (
@@ -71,8 +78,15 @@ func main() {
 		workers  = flag.Int("workers", 4, "spawned server: worker pool size")
 		queue    = flag.Int("queue", 64, "spawned server: admission queue depth")
 		entries  = flag.Int("cache", 1024, "spawned server: result cache entries")
+		clusterN = flag.Int("cluster", 0, "cluster bench: boot this many in-process nodes and run every app's frontier through /v1/cluster (0: closed-loop load bench)")
+		frontier = flag.String("frontier-out", "", "cluster bench: write the merged frontiers here as deterministic JSON")
 	)
 	flag.Parse()
+
+	if *clusterN > 0 {
+		runClusterMode(*clusterN, *workers, *out, *frontier)
+		return
+	}
 
 	res := result{Clients: *clients, SpawnedSrv: *url == ""}
 	res.Config = benchConfig{
@@ -97,7 +111,7 @@ func main() {
 	}
 	res.URL = *url
 
-	apps := []string{"3d", "MPG", "ckey", "digs", "engine", "trick"}
+	apps := benchApps
 	ctx := context.Background()
 	c := client.New(*url)
 	if !c.Healthy(ctx) {

@@ -38,6 +38,7 @@ var gated = map[string]bool{
 	"dse":       true,
 	"jobs":      true,
 	"milp":      true,
+	"cluster":   true,
 }
 
 // Analyzer is the detrange pass.
@@ -45,7 +46,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "detrange",
 	Doc: "flag nondeterministic map iteration in result-producing packages " +
 		"(partition, sched, system, report, explore, asic, stackdist, " +
-		"serve, client, metrics, dse, jobs, milp); " +
+		"serve, client, metrics, dse, jobs, milp, cluster); " +
 		"iterate sorted keys or acknowledge order-insensitive loops with //lint:ordered",
 	Run: run,
 }

@@ -1,0 +1,237 @@
+// Package cluster shards the dse branch-and-bound across lppartd
+// processes: a coordinator cuts one exploration into per-(geometry,
+// root-subset) shards — the existing serial-DFS units — fans them out
+// over a Runner (in-process or HTTP/JSON), steals stragglers, donates
+// finished shards' points back to the still-running ones as pruning
+// incumbents, and merges the shard frontiers with dse.Reduce under the
+// DESIGN.md §7 dominance ordering. The merged point set is
+// byte-identical at any node count and any shard arrival order:
+//
+//   - the shard plan is a pure function of (task, per-geometry pool
+//     sizes), both of which every node computes identically from the
+//     same measurement (Plan);
+//   - each shard's local frontier depends only on (task, shard) — the
+//     donated incumbents prune work, never points, by dse's
+//     margin-backed incumbent rule (dse.Config.Incumbents);
+//   - the merge is dse.Reduce over the union, whose weak-dominance
+//     filter and canonical-Key tie-break are order-free (Merge).
+//
+// Work counters (configs priced, steals, duplicate runs, broadcasts)
+// ARE timing-dependent; they feed the coordinator's Report — metrics
+// and benchmarks — and are kept out of the deterministic result body
+// by the serving layer.
+//
+// The package is deliberately clock-free (no timers, no time.Now):
+// stealing is opportunistic — an idle executor takes pending work from
+// the busiest queue, then duplicates in-flight stragglers — so the
+// scheduler's observable behavior depends only on completion order,
+// and the package stays inside the repo's nondetsource gate.
+package cluster
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"lppart/internal/apps"
+	"lppart/internal/behav"
+	"lppart/internal/cache"
+	"lppart/internal/cdfg"
+	"lppart/internal/dse"
+	"lppart/internal/tech"
+)
+
+// Task is one exploration on the cluster wire: the fully-explicit
+// Fig. 1 input tuple plus the design-space axes, self-contained so a
+// worker node reconstructs the exact same dse.Prep the coordinator
+// planned against. Resource sets travel resolved (no named references)
+// and geometries as [6]int dims, both canonical forms the serving
+// layer already uses for its cache keys.
+type Task struct {
+	App          string             `json:"app,omitempty"`
+	Source       string             `json:"source,omitempty"`
+	F            float64            `json:"f,omitempty"`
+	MaxClusters  int                `json:"max_clusters,omitempty"`
+	GEQBudget    int                `json:"geq_budget,omitempty"`
+	ResourceSets []tech.ResourceSet `json:"resource_sets,omitempty"`
+	MaxHW        int                `json:"max_hw,omitempty"`
+	Geometries   [][6]int           `json:"geometries,omitempty"`
+	Verify       bool               `json:"verify,omitempty"`
+}
+
+// Key is the task's canonical SHA-256: the hash of the fully-defaulted
+// tuple in declaration order. Every node derives the same key from the
+// same task, so it names the task cluster-wide (prep cache, job
+// ledger, shard affinity).
+func (t *Task) Key() string {
+	c := *t
+	if c.F == 0 {
+		c.F = 1.0
+	}
+	if c.MaxClusters == 0 {
+		c.MaxClusters = 5
+	}
+	if c.GEQBudget == 0 {
+		c.GEQBudget = 16000
+	}
+	if c.MaxHW == 0 {
+		c.MaxHW = 2
+	}
+	if c.ResourceSets == nil {
+		c.ResourceSets = tech.DefaultResourceSets()
+	}
+	if c.Geometries == nil {
+		for _, g := range dse.DefaultGeometries() {
+			c.Geometries = append(c.Geometries, [6]int{
+				g[0].Sets, g[0].Assoc, g[0].LineWords,
+				g[1].Sets, g[1].Assoc, g[1].LineWords,
+			})
+		}
+	}
+	b, err := json.Marshal(struct {
+		Kind string `json:"kind"`
+		Task `json:"task"`
+	}{Kind: "cluster-task/v1", Task: c})
+	if err != nil {
+		panic("cluster: task not marshalable: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Resolve parses and measures the task: the application profiled,
+// traced and priced into a dse.Prep, plus the dse.Config carrying the
+// partitioning knobs. maxInstrs bounds the served simulation and
+// maxSourceBytes the served source text (0: the behav default), the
+// same guards the serving layer applies to every other endpoint.
+func (t *Task) Resolve(ctx context.Context, maxInstrs int64, maxSourceBytes int) (*dse.Prep, dse.Config, error) {
+	var cfg dse.Config
+	var prog *behav.Program
+	var err error
+	switch {
+	case t.App != "" && t.Source != "":
+		return nil, cfg, fmt.Errorf("cluster: app and source are mutually exclusive")
+	case t.App != "":
+		a, aerr := apps.ByName(t.App)
+		if aerr != nil {
+			return nil, cfg, aerr
+		}
+		prog, err = a.Parse()
+	case t.Source != "":
+		if maxSourceBytes <= 0 {
+			maxSourceBytes = behav.DefaultMaxSourceBytes
+		}
+		prog, err = behav.ParseLimited("task", t.Source, maxSourceBytes)
+	default:
+		return nil, cfg, fmt.Errorf("cluster: task needs app or source")
+	}
+	if err != nil {
+		return nil, cfg, err
+	}
+	ir, err := cdfg.Build(prog)
+	if err != nil {
+		return nil, cfg, err
+	}
+	for _, d := range t.Geometries {
+		ic := cache.Config{Sets: d[0], Assoc: d[1], LineWords: d[2]}
+		dc := cache.Config{Sets: d[3], Assoc: d[4], LineWords: d[5], WriteBack: true}
+		cfg.Geometries = append(cfg.Geometries, [2]cache.Config{ic, dc})
+	}
+	cfg.MaxHW = t.MaxHW
+	cfg.Workers = 1 // a shard IS the unit of parallelism; inside it stays serial
+	cfg.Sys.MaxInstrs = maxInstrs
+	cfg.Sys.Part.F = t.F
+	cfg.Sys.Part.MaxClusters = t.MaxClusters
+	cfg.Sys.Part.GEQBudget = t.GEQBudget
+	cfg.Sys.Part.ResourceSets = t.ResourceSets
+	cfg.Sys.Part.Verify = t.Verify
+	p, err := dse.Prepare(ctx, ir, cfg)
+	if err != nil {
+		return nil, cfg, err
+	}
+	return p, cfg, nil
+}
+
+// prepEntry is one resolved task in the PrepCache.
+type prepEntry struct {
+	prep *dse.Prep
+	cfg  dse.Config
+	err  error
+	done chan struct{} // closed when prep/err are set
+	elem *list.Element
+}
+
+// PrepCache memoizes Task.Resolve by task key: a worker node serving
+// many shards of one exploration measures the application once, and
+// concurrent shards of the same task coalesce onto a single
+// measurement (per-entry latch, the jobs-table analogue of the serve
+// singleflight). The cache is a small bounded LRU — preps hold the
+// trace-derived baselines and the schedule/binding memo, so a handful
+// of entries covers a fleet's working set.
+type PrepCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*prepEntry
+	order   *list.List // front = most recent
+}
+
+// NewPrepCache returns a cache bounded to max resolved tasks (<= 0: 4).
+func NewPrepCache(max int) *PrepCache {
+	if max <= 0 {
+		max = 4
+	}
+	return &PrepCache{max: max, entries: make(map[string]*prepEntry), order: list.New()}
+}
+
+// Get returns the resolved prep for the task, measuring it on a miss.
+// Exactly one caller resolves each distinct key; the rest wait on the
+// same entry. Failed resolutions are not cached (the next caller
+// retries), matching the serve cache's only-successes rule.
+func (c *PrepCache) Get(ctx context.Context, t *Task, maxInstrs int64, maxSourceBytes int) (*dse.Prep, dse.Config, error) {
+	key := t.Key()
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.order.MoveToFront(e.elem)
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.prep, e.cfg, e.err
+		case <-ctx.Done():
+			return nil, dse.Config{}, ctx.Err()
+		}
+	}
+	e := &prepEntry{done: make(chan struct{})}
+	e.elem = c.order.PushFront(key)
+	c.entries[key] = e
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		delete(c.entries, back.Value.(string))
+		c.order.Remove(back)
+	}
+	c.mu.Unlock()
+
+	e.prep, e.cfg, e.err = t.Resolve(ctx, maxInstrs, maxSourceBytes)
+	if e.err != nil {
+		c.mu.Lock()
+		// Only evict if this entry still owns the key (it may already
+		// have been LRU-evicted by later inserts).
+		if cur, ok := c.entries[key]; ok && cur == e {
+			delete(c.entries, key)
+			c.order.Remove(e.elem)
+		}
+		c.mu.Unlock()
+	}
+	close(e.done)
+	return e.prep, e.cfg, e.err
+}
+
+// Len returns the cache occupancy (including in-flight resolutions).
+func (c *PrepCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,412 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lppart/internal/dse"
+)
+
+// Runner executes one shard on one peer. Implementations: LocalRunner
+// (in-process, the coordinator-only degenerate cluster) and HTTPRunner
+// (POST /v1/shard to a remote lppartd). RunShard must be safe for
+// concurrent use; errors are retried by the coordinator against the
+// same or another peer, so they must be side-effect free.
+type Runner interface {
+	RunShard(ctx context.Context, peer string, req *ShardRequest) (*ShardResult, error)
+}
+
+// Options tunes one coordinated exploration.
+type Options struct {
+	// Peers are the executor identities (worker base URLs for an
+	// HTTPRunner). Empty means one anonymous local executor.
+	Peers []string
+	// ShardsPerGeom is how many root-subset shards each geometry is cut
+	// into (<= 0: one per peer). More shards than peers keeps the plan
+	// steal-friendly; the merged output is identical at any value.
+	ShardsPerGeom int
+	// DisableSharing stops donating finished shards' points as pruning
+	// incumbents (the no-sharing baseline of the bench comparisons).
+	DisableSharing bool
+	// DisableSteal pins every shard to its home peer: no queue
+	// stealing, no duplicate runs of stragglers.
+	DisableSteal bool
+	// MaxFailures bounds one shard's dispatch failures before the
+	// exploration aborts (<= 0: 3 per peer).
+	MaxFailures int
+	// OnShardDone, when set, is called after each shard completes with
+	// (done, total) counts. It may be called concurrently.
+	OnShardDone func(done, total int)
+}
+
+// PeerShards counts one peer's accepted shard results.
+type PeerShards struct {
+	Peer   string `json:"peer"`
+	Shards int    `json:"shards"`
+}
+
+// Report is the coordinator's work accounting. Everything here is
+// timing-dependent (stealing, duplicate suppression and incumbent
+// arrival all race completions), so it feeds metrics and benchmarks
+// and is kept out of deterministic response bodies — only the merged
+// points are deterministic.
+type Report struct {
+	Shards     int `json:"shards"`
+	Steals     int `json:"steals"`     // shards taken from another peer's queue
+	Duplicates int `json:"duplicates"` // straggler re-runs whose result lost the race
+	Broadcasts int `json:"broadcasts"` // dispatches carrying a non-empty incumbent set
+	Failures   int `json:"failures"`   // dispatch errors (each retried until the budget)
+	// Work counters summed over accepted results.
+	Configs      int64        `json:"configs"`
+	Pruned       int64        `json:"pruned"`
+	PrunedRemote int64        `json:"pruned_remote"`
+	PairEvals    int64        `json:"pair_evals"`
+	PeerShards   []PeerShards `json:"peer_shards"`
+}
+
+// coordState is the scheduler's shared state; one mutex, one condition
+// variable, no timers — executors block on the cond only when no
+// runnable work exists for them, and every completion broadcasts.
+type coordState struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	peers   []string
+	plan    []Shard
+	queues  map[string][]int // peer → pending shard indices
+	running map[int]int      // shard index → concurrent attempt count
+	done    map[int]bool
+	fails   map[int]int             // shard index → total dispatch failures
+	failed  map[int]map[string]bool // shard index → peers that failed it
+	dupped  map[int]bool            // straggler already duplicated once
+	results []*ShardResult
+	incs    []dse.Incumbent
+	fatal   error
+
+	report    Report
+	peerTally map[string]int
+	doneCount int
+}
+
+// Run coordinates one exploration over the runner: plans the shards,
+// fans them out per peer, steals and duplicates stragglers, donates
+// finished points as incumbents, and merges the shard frontiers. The
+// returned points are byte-deterministic (any peer count, any timing);
+// the Report is not. poolSizes must come from the same resolved prep
+// the runner's peers use — Prep.PoolSize per geometry.
+func Run(ctx context.Context, runner Runner, task Task, poolSizes []int, opts Options) ([]dse.Point, *Report, error) {
+	if len(poolSizes) == 0 {
+		return nil, nil, fmt.Errorf("cluster: no geometries to plan")
+	}
+	peers := opts.Peers
+	if len(peers) == 0 {
+		peers = []string{""}
+	}
+	if opts.ShardsPerGeom <= 0 {
+		opts.ShardsPerGeom = len(peers)
+	}
+	maxFail := opts.MaxFailures
+	if maxFail <= 0 {
+		maxFail = 3 * len(peers)
+	}
+	st := &coordState{
+		peers:     peers,
+		plan:      Plan(poolSizes, opts.ShardsPerGeom),
+		queues:    make(map[string][]int, len(peers)),
+		running:   make(map[int]int),
+		done:      make(map[int]bool),
+		fails:     make(map[int]int),
+		failed:    make(map[int]map[string]bool),
+		dupped:    make(map[int]bool),
+		peerTally: make(map[string]int, len(peers)),
+	}
+	st.cond = sync.NewCond(&st.mu)
+	st.results = make([]*ShardResult, len(st.plan))
+	st.report.Shards = len(st.plan)
+	for _, sh := range st.plan {
+		home := peers[sh.Index%len(peers)]
+		st.queues[home] = append(st.queues[home], sh.Index)
+	}
+
+	// A cond.Wait cannot watch ctx; this watcher turns cancellation
+	// into a fatal wake-up.
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			st.mu.Lock()
+			if st.fatal == nil {
+				st.fatal = ctx.Err()
+			}
+			st.cond.Broadcast()
+			st.mu.Unlock()
+		case <-watchDone:
+		}
+	}()
+	defer close(watchDone)
+
+	var wg sync.WaitGroup
+	for _, peer := range peers {
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			for {
+				idx, incs := st.next(peer, &opts)
+				if idx < 0 {
+					return
+				}
+				req := &ShardRequest{Task: task, Shard: st.plan[idx], Incumbents: incs}
+				res, err := runner.RunShard(ctx, peer, req)
+				st.complete(peer, idx, res, err, maxFail, opts.OnShardDone)
+			}
+		}(peer)
+	}
+	wg.Wait()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.fatal != nil {
+		return nil, nil, st.fatal
+	}
+	for peer, n := range st.peerTally { //lint:ordered tally is sorted before it is reported
+		st.report.PeerShards = append(st.report.PeerShards, PeerShards{Peer: peer, Shards: n})
+	}
+	sort.Slice(st.report.PeerShards, func(i, j int) bool {
+		return st.report.PeerShards[i].Peer < st.report.PeerShards[j].Peer
+	})
+	rep := st.report
+	return Merge(st.results), &rep, nil
+}
+
+// next blocks until the peer has work or the run ends, returning the
+// shard index (-1: run over) and the incumbent snapshot to donate.
+func (st *coordState) next(peer string, opts *Options) (int, []dse.Incumbent) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		if st.fatal != nil || st.doneCount == len(st.plan) {
+			return -1, nil
+		}
+		if idx := st.pickLocked(peer, opts); idx >= 0 {
+			st.running[idx]++
+			return idx, st.donate(opts)
+		}
+		// Nothing runnable for THIS peer right now: pending work can
+		// reappear when an in-flight dispatch fails, and stragglers
+		// become duplicable as other peers drain, so block until a
+		// completion or failure broadcasts.
+		st.cond.Wait()
+	}
+}
+
+// pickLocked chooses the peer's next shard: its own queue first, then
+// a steal from the longest other queue, then a single duplicate run of
+// the lowest-indexed in-flight straggler. A peer skips shards it
+// already failed — a dead worker must not burn a shard's retry budget
+// the healthy peers could spend — unless nothing else is runnable
+// anywhere (the desperation pass, which keeps a transiently-failing
+// single-peer cluster live).
+func (st *coordState) pickLocked(peer string, opts *Options) int {
+	if idx := st.takeLocked(peer, peer, false); idx >= 0 {
+		return idx
+	}
+	if !opts.DisableSteal {
+		if victim := st.victimLocked(peer, false); victim != "" {
+			st.report.Steals++
+			return st.takeLocked(peer, victim, false)
+		}
+		if idx := st.stragglerLocked(peer); idx >= 0 {
+			st.dupped[idx] = true
+			return idx
+		}
+	}
+	// Desperation: every remaining pending shard is one this peer has
+	// failed before. Retry rather than deadlock.
+	if idx := st.takeLocked(peer, peer, true); idx >= 0 {
+		return idx
+	}
+	if !opts.DisableSteal {
+		if victim := st.victimLocked(peer, true); victim != "" {
+			st.report.Steals++
+			return st.takeLocked(peer, victim, true)
+		}
+	}
+	return -1
+}
+
+// takeLocked removes and returns the first (own queue) or last (steal)
+// shard in from's queue the taker may run; -1 if none. retryFailed
+// admits shards the taker already failed.
+func (st *coordState) takeLocked(taker, from string, retryFailed bool) int {
+	q := st.queues[from]
+	pick := -1
+	if taker == from {
+		for i, idx := range q {
+			if retryFailed || !st.failed[idx][taker] {
+				pick = i
+				break
+			}
+		}
+	} else {
+		for i := len(q) - 1; i >= 0; i-- {
+			if retryFailed || !st.failed[q[i]][taker] {
+				pick = i
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		return -1
+	}
+	idx := q[pick]
+	st.queues[from] = append(q[:pick:pick], q[pick+1:]...)
+	return idx
+}
+
+// victimLocked finds the peer whose queue holds the most shards the
+// thief may run (ties: lexicographically first peer); "" if none.
+func (st *coordState) victimLocked(thief string, retryFailed bool) string {
+	victim, best := "", 0
+	names := make([]string, 0, len(st.queues))
+	for name := range st.queues { //lint:ordered names are sorted before selection
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if name == thief {
+			continue
+		}
+		eligible := 0
+		for _, idx := range st.queues[name] {
+			if retryFailed || !st.failed[idx][thief] {
+				eligible++
+			}
+		}
+		if eligible > best {
+			best, victim = eligible, name
+		}
+	}
+	return victim
+}
+
+// stragglerLocked picks the lowest-indexed in-flight shard with
+// exactly one runner and no duplicate yet — the duplicate races the
+// original, first result wins, so a stuck peer cannot stall the merge.
+func (st *coordState) stragglerLocked(peer string) int {
+	best := -1
+	for idx, n := range st.running { //lint:ordered minimum index; order-free
+		if n == 1 && !st.done[idx] && !st.dupped[idx] && !st.failed[idx][peer] &&
+			(best < 0 || idx < best) {
+			best = idx
+		}
+	}
+	return best
+}
+
+// donate snapshots the incumbent frontier for a dispatch.
+func (st *coordState) donate(opts *Options) []dse.Incumbent {
+	if opts.DisableSharing || len(st.incs) == 0 {
+		return nil
+	}
+	st.report.Broadcasts++
+	return append([]dse.Incumbent(nil), st.incs...)
+}
+
+// complete records one dispatch outcome: the first successful result
+// of a shard is accepted (its counters tallied, its points folded into
+// the incumbent frontier); later duplicates are discarded. A failure
+// re-queues the shard on the next peer round-robin — so a dead
+// worker's shards migrate to healthy ones — until the failure budget
+// is spent with no attempt still in flight, which aborts the run.
+func (st *coordState) complete(peer string, idx int, res *ShardResult, err error,
+	maxFail int, onDone func(done, total int)) {
+	st.mu.Lock()
+	accepted := false
+	st.running[idx]--
+	if st.running[idx] <= 0 {
+		delete(st.running, idx)
+	}
+	switch {
+	case err != nil:
+		if !st.done[idx] && st.fatal == nil {
+			st.fails[idx]++
+			st.report.Failures++
+			if st.failed[idx] == nil {
+				st.failed[idx] = make(map[string]bool)
+			}
+			st.failed[idx][peer] = true
+			if st.running[idx] == 0 {
+				// No surviving attempt: retry elsewhere or give up.
+				if st.fails[idx] >= maxFail {
+					st.fatal = fmt.Errorf("cluster: shard %d failed %d times, last: %w", idx, st.fails[idx], err)
+				} else {
+					target := st.peers[st.fails[idx]%len(st.peers)]
+					st.queues[target] = append(st.queues[target], idx)
+				}
+			}
+		}
+	case st.done[idx]:
+		st.report.Duplicates++
+	default:
+		accepted = true
+		st.done[idx] = true
+		st.doneCount++
+		st.results[idx] = res
+		st.peerTally[peer]++
+		st.report.Configs += res.Configs
+		st.report.Pruned += res.Pruned
+		st.report.PrunedRemote += res.PrunedRemote
+		st.report.PairEvals += res.PairEvals
+		st.incs = foldIncumbents(st.incs, res.Points)
+	}
+	done, total := st.doneCount, len(st.plan)
+	st.cond.Broadcast()
+	st.mu.Unlock()
+	if accepted && onDone != nil {
+		onDone(done, total)
+	}
+}
+
+// foldIncumbents maintains the donated frontier: each accepted point's
+// objectives are inserted unless weakly dominated, evicting entries
+// they weakly dominate — the smallest seed set with full pruning
+// power.
+func foldIncumbents(cur []dse.Incumbent, pts []dse.Point) []dse.Incumbent {
+	for _, p := range pts {
+		in := dse.Incumbent{Energy: float64(p.Energy), Cycles: p.Cycles, GEQ: p.GEQ}
+		covered := false
+		for _, c := range cur {
+			if c.Energy <= in.Energy && c.Cycles <= in.Cycles && c.GEQ <= in.GEQ {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		kept := cur[:0]
+		for _, c := range cur {
+			if !(in.Energy <= c.Energy && in.Cycles <= c.Cycles && in.GEQ <= c.GEQ) {
+				kept = append(kept, c)
+			}
+		}
+		cur = append(kept, in)
+	}
+	return cur
+}
+
+// LocalRunner executes shards in-process against one resolved prep —
+// the coordinator-only cluster, and the Self leg of an HTTPRunner (a
+// coordinator must never wait on its own HTTP admission queue for a
+// shard it could run directly: at one worker that wait is a deadlock).
+type LocalRunner struct {
+	Prep *dse.Prep
+	Cfg  dse.Config
+}
+
+// RunShard implements Runner.
+func (l *LocalRunner) RunShard(ctx context.Context, _ string, req *ShardRequest) (*ShardResult, error) {
+	return RunShard(ctx, l.Prep, l.Cfg, req)
+}

@@ -1,0 +1,309 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+
+	"lppart/internal/dse"
+)
+
+// resolveApp measures a built-in application once for coordinator
+// tests.
+func resolveApp(t *testing.T, app string) (*Task, *dse.Prep, dse.Config) {
+	t.Helper()
+	task := &Task{App: app}
+	p, cfg, err := task.Resolve(context.Background(), 0, 0)
+	if err != nil {
+		t.Fatalf("Resolve(%s): %v", app, err)
+	}
+	return task, p, cfg
+}
+
+func poolSizesOf(p *dse.Prep) []int {
+	sizes := make([]int, len(p.Geoms))
+	for gi := range p.Geoms {
+		sizes[gi] = p.PoolSize(gi)
+	}
+	return sizes
+}
+
+func pointsBytes(t *testing.T, pts []dse.Point) []byte {
+	t.Helper()
+	b, err := json.Marshal(pts)
+	if err != nil {
+		t.Fatalf("marshal points: %v", err)
+	}
+	return b
+}
+
+// TestCoordinatorMatchesExplore is the subsystem's headline contract:
+// a coordinated run — one peer or three, stealing on, sharing on —
+// merges to the same bytes as the plain dse exploration.
+func TestCoordinatorMatchesExplore(t *testing.T) {
+	task, p, cfg := resolveApp(t, "engine")
+	whole, err := dse.ExplorePrep(context.Background(), p, cfg)
+	if err != nil {
+		t.Fatalf("ExplorePrep: %v", err)
+	}
+	want := pointsBytes(t, whole.Points)
+	runner := &LocalRunner{Prep: p, Cfg: cfg}
+	sizes := poolSizesOf(p)
+
+	for _, peers := range [][]string{nil, {"n1", "n2", "n3"}} {
+		for _, spg := range []int{1, 2, 3} {
+			pts, rep, err := Run(context.Background(), runner, *task, sizes,
+				Options{Peers: peers, ShardsPerGeom: spg})
+			if err != nil {
+				t.Fatalf("Run(peers=%d, spg=%d): %v", len(peers), spg, err)
+			}
+			if got := pointsBytes(t, pts); string(got) != string(want) {
+				t.Fatalf("Run(peers=%d, spg=%d): merged points differ from ExplorePrep", len(peers), spg)
+			}
+			if rep.Shards == 0 || rep.PeerShards == nil {
+				t.Fatalf("Run(peers=%d, spg=%d): empty report %+v", len(peers), spg, rep)
+			}
+		}
+	}
+}
+
+// TestCoordinatorSharingReducesWork pins the bound-sharing win: with a
+// single (serial, deterministic) executor, donating finished shards'
+// points must cut priced configurations versus the no-sharing run,
+// without changing the merged points.
+func TestCoordinatorSharingReducesWork(t *testing.T) {
+	task, p, cfg := resolveApp(t, "MPG")
+	runner := &LocalRunner{Prep: p, Cfg: cfg}
+	sizes := poolSizesOf(p)
+	opts := Options{ShardsPerGeom: 2}
+
+	ptsShared, repShared, err := Run(context.Background(), runner, *task, sizes, opts)
+	if err != nil {
+		t.Fatalf("Run(shared): %v", err)
+	}
+	opts.DisableSharing = true
+	ptsPlain, repPlain, err := Run(context.Background(), runner, *task, sizes, opts)
+	if err != nil {
+		t.Fatalf("Run(no sharing): %v", err)
+	}
+	if string(pointsBytes(t, ptsShared)) != string(pointsBytes(t, ptsPlain)) {
+		t.Fatal("bound-sharing changed the merged points")
+	}
+	if repShared.Configs >= repPlain.Configs {
+		t.Errorf("sharing did not reduce priced configs: %d (shared) >= %d (plain)",
+			repShared.Configs, repPlain.Configs)
+	}
+	if repShared.Broadcasts == 0 {
+		t.Error("sharing run recorded no incumbent broadcasts")
+	}
+	if repShared.PrunedRemote == 0 {
+		t.Error("sharing run recorded no remote prunes")
+	}
+	if repPlain.Broadcasts != 0 || repPlain.PrunedRemote != 0 {
+		t.Errorf("no-sharing run still broadcast: %+v", repPlain)
+	}
+}
+
+// fakeRunner serves synthetic shard results and scriptable failures.
+type fakeRunner struct {
+	mu    sync.Mutex
+	fail  map[string]int // peer → remaining failures
+	calls map[string]int
+	block chan struct{} // when non-nil, peer "slow" parks here until close
+}
+
+func (f *fakeRunner) RunShard(ctx context.Context, peer string, req *ShardRequest) (*ShardResult, error) {
+	f.mu.Lock()
+	f.calls[peer]++
+	shouldFail := f.fail[peer] > 0
+	if shouldFail {
+		f.fail[peer]--
+	}
+	block := f.block
+	f.mu.Unlock()
+	if shouldFail {
+		return nil, errors.New("synthetic dispatch failure")
+	}
+	if peer == "slow" && block != nil {
+		select {
+		case <-block:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return &ShardResult{Index: req.Shard.Index, Geom: req.Shard.Geom, Configs: 1}, nil
+}
+
+// TestCoordinatorRetriesFailures: a peer that fails its first
+// dispatches must not sink the run — its shards migrate to the other
+// peer and complete. Stealing is off so the failing peer is guaranteed
+// to reach its own shards (the failure count stays deterministic).
+func TestCoordinatorRetriesFailures(t *testing.T) {
+	fr := &fakeRunner{fail: map[string]int{"bad": 2}, calls: map[string]int{}}
+	_, rep, err := Run(context.Background(), fr, Task{App: "x"}, []int{4},
+		Options{Peers: []string{"bad", "good"}, ShardsPerGeom: 4, DisableSteal: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Failures != 2 {
+		t.Errorf("Failures: got %d, want 2", rep.Failures)
+	}
+	total := 0
+	for _, ps := range rep.PeerShards {
+		total += ps.Shards
+	}
+	if total != rep.Shards || rep.Shards != 4 {
+		t.Errorf("accepted %d of %d shards (%+v)", total, rep.Shards, rep.PeerShards)
+	}
+}
+
+// TestCoordinatorDeadPeerAborts: a shard failing everywhere exhausts
+// its budget and surfaces the last error.
+func TestCoordinatorDeadPeerAborts(t *testing.T) {
+	fr := &fakeRunner{fail: map[string]int{"dead": 1 << 30}, calls: map[string]int{}}
+	_, _, err := Run(context.Background(), fr, Task{App: "x"}, []int{2},
+		Options{Peers: []string{"dead"}, ShardsPerGeom: 2, MaxFailures: 3})
+	if err == nil {
+		t.Fatal("Run succeeded with an always-failing sole peer")
+	}
+}
+
+// TestCoordinatorStealsFromStraggler: with one peer parked, the other
+// must steal its queue and duplicate its in-flight shard, and the
+// merge must accept whichever result lands first.
+func TestCoordinatorStealsFromStraggler(t *testing.T) {
+	block := make(chan struct{})
+	fr := &fakeRunner{calls: map[string]int{}, block: block}
+	done := make(chan struct{})
+	var rep *Report
+	var runErr error
+	go func() {
+		defer close(done)
+		_, rep, runErr = Run(context.Background(), fr, Task{App: "x"}, []int{8},
+			Options{Peers: []string{"fast", "slow"}, ShardsPerGeom: 8,
+				OnShardDone: func(d, total int) {
+					if d == total {
+						close(block) // unpark the straggler only after the race is decided
+					}
+				}})
+	}()
+	<-done
+	if runErr != nil {
+		t.Fatalf("Run: %v", runErr)
+	}
+	if rep.Steals == 0 {
+		t.Errorf("fast peer never stole from the parked peer's queue: %+v", rep)
+	}
+	total := 0
+	for _, ps := range rep.PeerShards {
+		total += ps.Shards
+	}
+	if total != rep.Shards {
+		t.Errorf("accepted %d of %d shards", total, rep.Shards)
+	}
+}
+
+// TestCoordinatorCancel: context cancellation aborts the run with the
+// context's error.
+func TestCoordinatorCancel(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	fr := &fakeRunner{calls: map[string]int{}, block: block}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := Run(ctx, fr, Task{App: "x"}, []int{2},
+			Options{Peers: []string{"slow"}, ShardsPerGeom: 2})
+		done <- err
+	}()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run after cancel: got %v, want context.Canceled", err)
+	}
+}
+
+// TestMergeOrderFree: merging the same shard results in any order
+// yields identical bytes — the coordinator's determinism keystone,
+// exercised here without timing by permuting results explicitly.
+func TestMergeOrderFree(t *testing.T) {
+	_, p, cfg := resolveApp(t, "engine")
+	var results []*ShardResult
+	for gi := range p.Geoms {
+		n := p.PoolSize(gi)
+		for r := 0; r < n; r++ {
+			res, err := RunShard(context.Background(), p, cfg, &ShardRequest{
+				Shard: Shard{Index: len(results), Geom: gi, Roots: []int{r}},
+			})
+			if err != nil {
+				t.Fatalf("RunShard: %v", err)
+			}
+			results = append(results, res)
+		}
+	}
+	want := pointsBytes(t, Merge(results))
+	for trial := 0; trial < 3; trial++ {
+		perm := make([]*ShardResult, len(results))
+		for i, r := range results {
+			perm[(i*7+trial)%len(results)] = r
+		}
+		kept := perm[:0]
+		for _, r := range perm {
+			if r != nil {
+				kept = append(kept, r)
+			}
+		}
+		if got := pointsBytes(t, Merge(kept)); string(got) != string(want) {
+			t.Fatalf("trial %d: merge depends on result order", trial)
+		}
+	}
+}
+
+// TestPrepCacheCoalesces: concurrent Gets of one task resolve once.
+func TestPrepCacheCoalesces(t *testing.T) {
+	pc := NewPrepCache(2)
+	task := &Task{App: "engine"}
+	var wg sync.WaitGroup
+	preps := make([]*dse.Prep, 8)
+	for i := range preps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, _, err := pc.Get(context.Background(), task, 0, 0)
+			if err != nil {
+				t.Errorf("Get: %v", err)
+			}
+			preps[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(preps); i++ {
+		if preps[i] != preps[0] {
+			t.Fatal("concurrent Gets resolved the task more than once")
+		}
+	}
+	if pc.Len() != 1 {
+		t.Fatalf("cache length: got %d, want 1", pc.Len())
+	}
+	if _, _, err := pc.Get(context.Background(), &Task{App: "no-such-app"}, 0, 0); err == nil {
+		t.Fatal("Get of unknown app succeeded")
+	}
+	if pc.Len() != 1 {
+		t.Fatalf("failed resolution was cached: length %d", pc.Len())
+	}
+}
+
+// TestTaskKeyCanonical: defaults spelled out and defaults omitted hash
+// identically; different tuples do not.
+func TestTaskKeyCanonical(t *testing.T) {
+	a := Task{App: "MPG"}
+	b := Task{App: "MPG", F: 1.0, MaxClusters: 5, GEQBudget: 16000, MaxHW: 2}
+	if a.Key() != b.Key() {
+		t.Fatal("defaulted and explicit tasks hash differently")
+	}
+	c := Task{App: "MPG", MaxHW: 3}
+	if a.Key() == c.Key() {
+		t.Fatal("distinct tuples share a key")
+	}
+}

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// HTTPRunner executes shards by POSTing /v1/shard to worker peers.
+// The peer string is the worker's base URL ("http://127.0.0.1:8095");
+// when it equals Self, the shard short-circuits to Local instead of
+// re-entering this node's own HTTP admission queue (at one worker that
+// wait would deadlock the coordinator against itself).
+type HTTPRunner struct {
+	// Client overrides the transport (nil: http.DefaultClient).
+	// Deadlines come from the per-run context, not the client.
+	Client *http.Client
+	// Self is this node's own peer URL; Local runs its shards.
+	Self  string
+	Local Runner
+}
+
+// maxShardResponseBytes caps a worker's shard response; a shard result
+// is a reduced frontier (typically well under a megabyte), so the cap
+// only guards against a confused or hostile endpoint.
+const maxShardResponseBytes = 64 << 20
+
+// RunShard implements Runner. Any non-200 answer is an error — the
+// coordinator's retry/steal loop owns failover, so the runner stays a
+// single-attempt transport.
+func (h *HTTPRunner) RunShard(ctx context.Context, peer string, req *ShardRequest) (*ShardResult, error) {
+	if peer == h.Self && h.Local != nil {
+		return h.Local.RunShard(ctx, peer, req)
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encode shard request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/shard", bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hc := h.Client
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %d on %s: %w", req.Shard.Index, peer, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxShardResponseBytes))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %d on %s: read: %w", req.Shard.Index, peer, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: shard %d on %s: HTTP %d: %s",
+			req.Shard.Index, peer, resp.StatusCode, firstLine(raw))
+	}
+	var res ShardResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, fmt.Errorf("cluster: shard %d on %s: decode: %w", req.Shard.Index, peer, err)
+	}
+	return &res, nil
+}
+
+// firstLine trims an error body for the wrapped message.
+func firstLine(b []byte) string {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		b = b[:i]
+	}
+	if len(b) > 200 {
+		b = b[:200]
+	}
+	return string(b)
+}

@@ -1,0 +1,29 @@
+package cluster
+
+import (
+	"lppart/internal/dse"
+)
+
+// Merge folds shard frontiers into the exploration's frontier:
+// dse.Reduce over the union of all shard points, IDs reassigned in the
+// reduced order. Reduce's weak-dominance filter plus canonical-Key
+// tie-break (DESIGN.md §7, §11) make the output independent of the
+// results' arrival order AND of how the plan was cut — any shard set
+// covering every (geometry, root) exactly once merges to the same
+// bytes as the unsharded run. nil results (not-yet-finished slots) are
+// skipped so a partial merge is well-defined, though only a complete
+// plan's merge is the exploration's frontier.
+func Merge(results []*ShardResult) []dse.Point {
+	var all []dse.Point
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		all = append(all, r.Points...)
+	}
+	pts := dse.Reduce(all)
+	for i := range pts {
+		pts[i].ID = i
+	}
+	return pts
+}

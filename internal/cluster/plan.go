@@ -1,0 +1,48 @@
+package cluster
+
+// Shard is one unit of distributed search: geometry Geom of the task's
+// grid, restricted to the root branches in Roots (dse.Config.Roots).
+// A plan's shards cover every (geometry, root) pair exactly once, so
+// merging their locally-reduced frontiers with dse.Reduce reproduces
+// the unsharded exploration byte for byte; the empty configuration is
+// re-derived by every shard and deduplicated by the merge's canonical
+// Key. Roots is never nil — an empty slice is a valid shard that
+// contributes only the geometry's all-software point (a geometry with
+// an empty candidate pool plans exactly one such shard).
+type Shard struct {
+	Index int   `json:"index"` // position in the plan, the shard's identity
+	Geom  int   `json:"geom"`
+	Roots []int `json:"roots"`
+}
+
+// Plan cuts an exploration into shards: per geometry, the candidate
+// pool's root branches are dealt round-robin into min(shardsPerGeom,
+// poolSize) groups (shardsPerGeom <= 0: 1). Round-robin — not
+// contiguous blocks — because Fig. 3 pre-selection ranks the pool by
+// score, and rank correlates strongly with subtree weight: dealing
+// adjacent ranks to different shards balances the plan without
+// measuring anything, keeping Plan a pure function of (poolSizes,
+// shardsPerGeom) that every node computes identically.
+func Plan(poolSizes []int, shardsPerGeom int) []Shard {
+	if shardsPerGeom <= 0 {
+		shardsPerGeom = 1
+	}
+	var shards []Shard
+	for gi, n := range poolSizes {
+		groups := shardsPerGeom
+		if groups > n {
+			groups = n
+		}
+		if groups < 1 {
+			groups = 1
+		}
+		for r := 0; r < groups; r++ {
+			roots := []int{}
+			for j := r; j < n; j += groups {
+				roots = append(roots, j)
+			}
+			shards = append(shards, Shard{Index: len(shards), Geom: gi, Roots: roots})
+		}
+	}
+	return shards
+}

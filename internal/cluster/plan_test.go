@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPlanCoversEveryRootOnce is the plan's partition contract: for
+// any split width, each geometry's roots are covered exactly once.
+func TestPlanCoversEveryRootOnce(t *testing.T) {
+	pools := []int{7, 1, 0, 4}
+	for _, spg := range []int{1, 2, 3, 10} {
+		shards := Plan(pools, spg)
+		seen := make([]map[int]int, len(pools))
+		for gi := range seen {
+			seen[gi] = map[int]int{}
+		}
+		for i, sh := range shards {
+			if sh.Index != i {
+				t.Fatalf("spg=%d: shard %d carries Index %d", spg, i, sh.Index)
+			}
+			if sh.Roots == nil {
+				t.Fatalf("spg=%d: shard %d has nil Roots (must be non-nil on the wire)", spg, i)
+			}
+			for _, r := range sh.Roots {
+				seen[sh.Geom][r]++
+			}
+		}
+		for gi, n := range pools {
+			for r := 0; r < n; r++ {
+				if seen[gi][r] != 1 {
+					t.Fatalf("spg=%d: geometry %d root %d covered %d times", spg, gi, r, seen[gi][r])
+				}
+			}
+			if len(seen[gi]) != n {
+				t.Fatalf("spg=%d: geometry %d covers %d roots, want %d", spg, gi, len(seen[gi]), n)
+			}
+		}
+	}
+}
+
+// TestPlanShardCounts pins the clamp: a geometry never splits wider
+// than its pool, and an empty pool still plans one (empty-roots)
+// shard so the geometry's all-software point is produced.
+func TestPlanShardCounts(t *testing.T) {
+	shards := Plan([]int{5, 2, 0}, 3)
+	perGeom := map[int]int{}
+	for _, sh := range shards {
+		perGeom[sh.Geom]++
+	}
+	want := map[int]int{0: 3, 1: 2, 2: 1}
+	if !reflect.DeepEqual(perGeom, want) {
+		t.Fatalf("shard counts per geometry: got %v, want %v", perGeom, want)
+	}
+}
+
+// TestPlanDeterministic pins the plan bytes: every node of a cluster
+// computes the schedule from (poolSizes, shardsPerGeom) alone.
+func TestPlanDeterministic(t *testing.T) {
+	a := Plan([]int{6, 3}, 2)
+	b := Plan([]int{6, 3}, 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical inputs planned differently")
+	}
+	want := []Shard{
+		{Index: 0, Geom: 0, Roots: []int{0, 2, 4}},
+		{Index: 1, Geom: 0, Roots: []int{1, 3, 5}},
+		{Index: 2, Geom: 1, Roots: []int{0, 2}},
+		{Index: 3, Geom: 1, Roots: []int{1}},
+	}
+	if !reflect.DeepEqual(a, want) {
+		t.Fatalf("plan: got %v, want %v", a, want)
+	}
+}

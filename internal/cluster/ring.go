@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over peer addresses: every node of a
+// cluster, given the same peer list, maps the same canonical request
+// key to the same owner, so the per-node LRU and memostore cache tiers
+// shard cleanly — one key's results concentrate on one node instead of
+// being recomputed everywhere. Virtual nodes (replicas) smooth the
+// key-space split; SHA-256 keeps placement independent of Go's map or
+// hash seed, so the mapping is stable across processes and restarts.
+type Ring struct {
+	peers  []string
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	peer int // index into peers
+}
+
+// NewRing builds a ring over the peers with the given virtual-node
+// count per peer (<= 0: 64). Duplicate and empty peer entries are
+// dropped; the peer order given does not affect placement.
+func NewRing(peers []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	seen := make(map[string]bool, len(peers))
+	r := &Ring{}
+	for _, p := range peers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		r.peers = append(r.peers, p)
+	}
+	sort.Strings(r.peers)
+	for pi, p := range r.peers {
+		for v := 0; v < replicas; v++ {
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], uint64(v))
+			sum := sha256.Sum256(append([]byte(p+"#"), buf[:]...))
+			r.points = append(r.points, ringPoint{hash: binary.BigEndian.Uint64(sum[:8]), peer: pi})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.peers[r.points[i].peer] < r.peers[r.points[j].peer]
+	})
+	return r
+}
+
+// Len returns the number of distinct peers on the ring.
+func (r *Ring) Len() int { return len(r.peers) }
+
+// Peers returns the ring's peers in sorted order.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// Owner returns the peer owning the key — the first ring point at or
+// after the key's hash, wrapping. An empty ring owns nothing ("").
+func (r *Ring) Owner(key string) string {
+	return r.OwnerRank(key, 0)
+}
+
+// OwnerRank returns the key's rank-th distinct owner in ring order:
+// rank 0 is the primary, rank 1 the first distinct successor (the
+// natural failover target), and so on. rank >= Len() wraps.
+func (r *Ring) OwnerRank(key string, rank int) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	if rank < 0 {
+		rank = 0
+	}
+	rank %= len(r.peers)
+	sum := sha256.Sum256([]byte(key))
+	h := binary.BigEndian.Uint64(sum[:8])
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[int]bool, rank+1)
+	for i := 0; ; i++ {
+		pt := r.points[(start+i)%len(r.points)]
+		if seen[pt.peer] {
+			continue
+		}
+		seen[pt.peer] = true
+		if len(seen) == rank+1 {
+			return r.peers[pt.peer]
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndOrderFree(t *testing.T) {
+	a := NewRing([]string{"http://n1", "http://n2", "http://n3"}, 64)
+	b := NewRing([]string{"http://n3", "http://n1", "http://n2", "http://n1", ""}, 64)
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("Len: got %d and %d, want 3 (duplicates and empties dropped)", a.Len(), b.Len())
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("owner of %q depends on peer list order: %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	r := NewRing([]string{"http://n1", "http://n2", "http://n3"}, 64)
+	count := map[string]int{}
+	for i := 0; i < 900; i++ {
+		count[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, p := range r.Peers() {
+		if count[p] < 90 { // 10% of fair share 300 — a gross-imbalance tripwire
+			t.Errorf("peer %s owns only %d of 900 keys", p, count[p])
+		}
+	}
+}
+
+func TestRingOwnerRankDistinct(t *testing.T) {
+	r := NewRing([]string{"http://n1", "http://n2", "http://n3"}, 64)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		seen := map[string]bool{}
+		for rank := 0; rank < 3; rank++ {
+			p := r.OwnerRank(key, rank)
+			if seen[p] {
+				t.Fatalf("key %q rank %d repeats owner %q", key, rank, p)
+			}
+			seen[p] = true
+		}
+		if r.OwnerRank(key, 3) != r.OwnerRank(key, 0) {
+			t.Fatalf("key %q: rank Len() should wrap to the primary", key)
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if got := r.Owner("anything"); got != "" {
+		t.Fatalf("empty ring owner: got %q, want empty", got)
+	}
+}

@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"context"
+
+	"lppart/internal/dse"
+)
+
+// ShardRequest is POST /v1/shard on the wire: the task (so any node
+// can resolve the measurement), the shard to run, and the incumbents
+// known to the coordinator at dispatch time. Incumbents prune work,
+// never points (dse's margin-backed rule), so two dispatches of the
+// same shard with different incumbent snapshots return the same
+// Points.
+type ShardRequest struct {
+	Task       Task            `json:"task"`
+	Shard      Shard           `json:"shard"`
+	Incumbents []dse.Incumbent `json:"incumbents,omitempty"`
+}
+
+// ShardResult is a finished shard: its locally-reduced frontier points
+// (carrying the canonical Keys the merge tie-breaks on; decision
+// trails do not travel — with Task.Verify they are audited shard-side
+// by dse.ExploreShard before the result leaves the node) plus the
+// shard's work counters for the coordinator's Report.
+type ShardResult struct {
+	Index        int         `json:"index"`
+	Geom         int         `json:"geom"`
+	Points       []dse.Point `json:"points"`
+	Configs      int64       `json:"configs"`
+	Pruned       int64       `json:"pruned"`
+	PrunedRemote int64       `json:"pruned_remote"`
+	PairEvals    int64       `json:"pair_evals"`
+}
+
+// RunShard executes one shard against a resolved prep: the serial DFS
+// over the shard's root branches, seeded with the request's
+// incumbents.
+func RunShard(ctx context.Context, p *dse.Prep, cfg dse.Config, req *ShardRequest) (*ShardResult, error) {
+	scfg := cfg
+	scfg.Roots = req.Shard.Roots
+	if scfg.Roots == nil {
+		scfg.Roots = []int{} // nil would mean unrestricted; a shard is always restricted
+	}
+	scfg.Incumbents = req.Incumbents
+	f, err := dse.ExploreShard(ctx, p, req.Shard.Geom, scfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardResult{
+		Index:        req.Shard.Index,
+		Geom:         req.Shard.Geom,
+		Points:       f.Points,
+		Configs:      f.Stats.Configs,
+		Pruned:       f.Stats.Pruned,
+		PrunedRemote: f.Stats.PrunedRemote,
+		PairEvals:    f.Stats.PairEvals,
+	}, nil
+}

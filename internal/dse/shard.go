@@ -1,0 +1,69 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+)
+
+// PoolSize returns the size of geometry gi's pre-selected candidate
+// pool (Fig. 1 step 5) — the number of root branches a cluster shard
+// plan may split that geometry's search into. It is a pure function of
+// the Prep, so every node of a cluster computes the same value.
+func (p *Prep) PoolSize(gi int) int {
+	_, pool := p.Delta.Evaluator().Candidates(p.Bases[gi])
+	return len(pool)
+}
+
+// ExploreShard runs the branch-and-bound over ONE geometry of a
+// prepared exploration — the cluster shard unit. cfg.Roots restricts
+// the shard to a subset of the geometry's root branches and
+// cfg.Incumbents donates cross-shard pruning seeds; the returned
+// Frontier is the shard's locally-reduced point set with the shard's
+// own search counters. Merging the per-shard frontiers of any plan
+// that covers every (geometry, root) exactly once with Reduce yields
+// the same point set as ExplorePrep over the same Prep, byte for byte
+// — the shard outputs carry the canonical Key precisely so the merge
+// can reproduce the §7 ordering.
+//
+// With cfg.Sys.Part.Verify set, every shard point's decision trail is
+// audited here, shard-side: a remote coordinator merges bare points
+// (the trail does not travel), so this is where the audit must happen.
+func ExploreShard(ctx context.Context, p *Prep, gi int, cfg Config) (*Frontier, error) {
+	if gi < 0 || gi >= len(p.Geoms) {
+		return nil, fmt.Errorf("dse: shard geometry %d out of range [0, %d)", gi, len(p.Geoms))
+	}
+	if cfg.MaxHW <= 0 {
+		cfg.MaxHW = 2
+	}
+	pe := p.Delta.Evaluator()
+	pcfg := pe.Config()
+	res, err := searchGeometry(ctx, p.Delta, p.Bases[gi], p.Geoms[gi], &cfg)
+	if err != nil {
+		return nil, err
+	}
+	pts := Reduce(res.points)
+	for i := range pts {
+		pts[i].ID = i
+	}
+	ms := pe.MemoStats()
+	f := &Frontier{
+		App:    p.IR.Name,
+		Points: pts,
+		Stats: Stats{
+			Geometries:   1,
+			Configs:      res.configs,
+			Pruned:       res.pruned,
+			PrunedRemote: res.prunedRemote,
+			PairEvals:    res.pairEvals,
+			MemoAdds:     ms.Adds,
+			MemoSize:     ms.Size,
+			Memo:         ms,
+		},
+	}
+	if pcfg.Verify {
+		if err := f.Audit(pcfg); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}

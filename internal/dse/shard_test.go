@@ -1,0 +1,127 @@
+package dse
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestShardUnionCoversFrontier is the sharding soundness contract: for
+// every geometry, splitting the search into root-branch shards (any
+// partition of the pool indices) and merging the locally-reduced shard
+// frontiers with Reduce reproduces the unsharded frontier byte for
+// byte, at any split width.
+func TestShardUnionCoversFrontier(t *testing.T) {
+	ir := buildApp(t, "engine")
+	cfg := Config{Workers: 1}
+	p, err := Prepare(context.Background(), ir, cfg)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	whole, err := ExplorePrep(context.Background(), p, cfg)
+	if err != nil {
+		t.Fatalf("ExplorePrep: %v", err)
+	}
+	ref := pointsJSON(t, whole)
+
+	for _, split := range []int{1, 2, 3} {
+		var all []Point
+		for gi := range p.Geoms {
+			n := p.PoolSize(gi)
+			groups := split
+			if groups > n {
+				groups = n
+			}
+			if groups < 1 {
+				groups = 1
+			}
+			for r := 0; r < groups; r++ {
+				scfg := cfg
+				scfg.Roots = []int{}
+				for j := r; j < n; j += groups {
+					scfg.Roots = append(scfg.Roots, j)
+				}
+				f, err := ExploreShard(context.Background(), p, gi, scfg)
+				if err != nil {
+					t.Fatalf("ExploreShard(gi=%d, split=%d, group=%d): %v", gi, split, r, err)
+				}
+				all = append(all, f.Points...)
+			}
+		}
+		merged := Reduce(all)
+		for i := range merged {
+			merged[i].ID = i
+		}
+		got := pointsJSON(t, &Frontier{Points: merged})
+		want := pointsJSON(t, &Frontier{Points: whole.Points})
+		if !bytes.Equal(got, want) {
+			t.Fatalf("split=%d: merged shard frontier differs from unsharded run", split)
+		}
+	}
+	_ = ref
+}
+
+// TestIncumbentsPreserveFrontier is the bound-sharing soundness
+// contract: donating achievable points from the full frontier as
+// Incumbents to every shard must prune work without changing the merged
+// point set — the strict-dominance rule guarantees invariance under any
+// incumbent timing.
+func TestIncumbentsPreserveFrontier(t *testing.T) {
+	ir := buildApp(t, "MPG")
+	cfg := Config{Workers: 1}
+	p, err := Prepare(context.Background(), ir, cfg)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	whole, err := ExplorePrep(context.Background(), p, cfg)
+	if err != nil {
+		t.Fatalf("ExplorePrep: %v", err)
+	}
+	incs := make([]Incumbent, 0, len(whole.Points))
+	for _, pt := range whole.Points {
+		incs = append(incs, Incumbent{Energy: float64(pt.Energy), Cycles: pt.Cycles, GEQ: pt.GEQ})
+	}
+
+	var plain, seeded []Point
+	var plainConfigs, seededConfigs, remote int64
+	for gi := range p.Geoms {
+		f0, err := ExploreShard(context.Background(), p, gi, cfg)
+		if err != nil {
+			t.Fatalf("ExploreShard plain gi=%d: %v", gi, err)
+		}
+		plain = append(plain, f0.Points...)
+		plainConfigs += f0.Stats.Configs
+
+		scfg := cfg
+		scfg.Incumbents = incs
+		f1, err := ExploreShard(context.Background(), p, gi, scfg)
+		if err != nil {
+			t.Fatalf("ExploreShard seeded gi=%d: %v", gi, err)
+		}
+		seeded = append(seeded, f1.Points...)
+		seededConfigs += f1.Stats.Configs
+		remote += f1.Stats.PrunedRemote
+	}
+	a, b := Reduce(plain), Reduce(seeded)
+	for i := range a {
+		a[i].ID = i
+	}
+	for i := range b {
+		b[i].ID = i
+	}
+	ga := pointsJSON(t, &Frontier{Points: a})
+	gb := pointsJSON(t, &Frontier{Points: b})
+	if !bytes.Equal(ga, gb) {
+		t.Fatal("incumbent-seeded merge differs from plain merge")
+	}
+	if seededConfigs >= plainConfigs {
+		t.Errorf("incumbents did not reduce priced configs: %d (seeded) >= %d (plain)", seededConfigs, plainConfigs)
+	}
+	if remote == 0 {
+		t.Error("PrunedRemote = 0: incumbents never fired")
+	}
+	wb := pointsJSON(t, whole)
+	if !bytes.Equal(ga, wb) {
+		t.Fatal("per-geometry shard merge differs from ExplorePrep frontier")
+	}
+}

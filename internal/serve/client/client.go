@@ -2,7 +2,10 @@
 // /v1 JSON API and retries transient failures (HTTP 429/503/5xx and
 // transport errors) with capped exponential backoff plus full jitter, so
 // a fleet of clients hitting a shedding server spreads its retries
-// instead of thundering back in lockstep.
+// instead of thundering back in lockstep. With several endpoints
+// (NewMulti), retries rotate across the cluster's peers and repeatedly
+// failing peers are sidelined until they answer again, so one dead or
+// shedding node costs a backoff, not an error.
 package client
 
 import (
@@ -14,6 +17,7 @@ import (
 	"math/rand" //lint:nondet retry jitter only; never in a response body
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"lppart/internal/serve"
@@ -23,6 +27,13 @@ import (
 type Config struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8095".
 	BaseURL string
+	// Endpoints are additional equivalent server roots (a cluster's
+	// peers). Requests go to the preferred endpoint; a retryable
+	// failure rotates the retry — same backoff, same Retry-After floor
+	// — onto the next peer, and an endpoint that fails repeatedly is
+	// skipped until every peer looks unhealthy. Usually set via
+	// NewMulti rather than directly.
+	Endpoints []string
 	// MaxRetries bounds retry attempts after the first try (default 3).
 	MaxRetries int
 	// BaseBackoff is the first retry's backoff cap (default 100ms); each
@@ -41,7 +52,24 @@ type Config struct {
 // Client is a typed lppartd API client.
 type Client struct {
 	cfg Config
+
+	// Per-endpoint failover state; eps always has at least one entry.
+	mu  sync.Mutex
+	eps []*endpointState
+	cur int
 }
+
+// endpointState is one peer's passive health record.
+type endpointState struct {
+	url   string
+	fails int // consecutive retryable failures
+}
+
+// failThreshold is how many consecutive retryable failures sideline an
+// endpoint. Sidelined endpoints are still used when every peer is
+// sidelined (a full outage should keep probing, not give up), and a
+// single success reinstates the peer.
+const failThreshold = 3
 
 // ErrorBody is the server's JSON error body; parse errors in served
 // sources carry a 1-based line and column.
@@ -84,7 +112,73 @@ func New(baseURL string, opts ...func(*Config)) *Client {
 	if cfg.HTTPClient == nil {
 		cfg.HTTPClient = http.DefaultClient
 	}
-	return &Client{cfg: cfg}
+	c := &Client{cfg: cfg}
+	for _, u := range append([]string{cfg.BaseURL}, cfg.Endpoints...) {
+		if u == "" {
+			continue
+		}
+		dup := false
+		for _, e := range c.eps {
+			if e.url == u {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			c.eps = append(c.eps, &endpointState{url: u})
+		}
+	}
+	if len(c.eps) == 0 {
+		c.eps = []*endpointState{{url: cfg.BaseURL}}
+	}
+	return c
+}
+
+// NewMulti returns a failover client over several equivalent endpoints
+// (a cluster's peer URLs). The first endpoint is preferred; see
+// Config.Endpoints for the rotation rules.
+func NewMulti(endpoints []string, opts ...func(*Config)) *Client {
+	if len(endpoints) == 0 {
+		panic("lppartd client: NewMulti needs at least one endpoint")
+	}
+	return New(endpoints[0], append([]func(*Config){func(c *Config) {
+		c.Endpoints = endpoints[1:]
+	}}, opts...)...)
+}
+
+// pick returns the endpoint for the next attempt: the preferred (or
+// last-good) endpoint unless it is sidelined, else the next healthy
+// peer in rotation; when everything is sidelined, whatever cur points
+// at — an outage keeps probing.
+func (c *Client) pick() *endpointState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < len(c.eps); i++ {
+		ep := c.eps[(c.cur+i)%len(c.eps)]
+		if ep.fails < failThreshold {
+			c.cur = (c.cur + i) % len(c.eps)
+			return ep
+		}
+	}
+	return c.eps[c.cur]
+}
+
+// mark records one attempt's outcome; a retryable failure rotates cur
+// off the failed endpoint so the next attempt lands on the next peer.
+func (c *Client) mark(ep *endpointState, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ok {
+		ep.fails = 0
+		return
+	}
+	ep.fails++
+	for i, e := range c.eps {
+		if e == ep {
+			c.cur = (i + 1) % len(c.eps)
+			return
+		}
+	}
 }
 
 // WithHTTPClient overrides the transport.
@@ -121,23 +215,39 @@ func (c *Client) Sweep(ctx context.Context, req *serve.SweepRequest) (*Result[*s
 	return do[*serve.SweepResponse](c, ctx, http.MethodPost, "/v1/sweep", req)
 }
 
+// Batch runs POST /v1/batch.
+func (c *Client) Batch(ctx context.Context, req *serve.BatchRequest) (*Result[*serve.BatchResponse], error) {
+	return do[*serve.BatchResponse](c, ctx, http.MethodPost, "/v1/batch", req)
+}
+
 // Apps runs GET /v1/apps.
 func (c *Client) Apps(ctx context.Context) (*Result[*serve.AppsResponse], error) {
 	return do[*serve.AppsResponse](c, ctx, http.MethodGet, "/v1/apps", nil)
 }
 
-// Healthy reports whether /healthz answers 200.
+// Healthy reports whether any endpoint's /healthz answers 200.
 func (c *Client) Healthy(ctx context.Context) bool {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+"/healthz", nil)
-	if err != nil {
-		return false
+	c.mu.Lock()
+	urls := make([]string, len(c.eps))
+	for i, ep := range c.eps {
+		urls[i] = ep.url
 	}
-	resp, err := c.cfg.HTTPClient.Do(req)
-	if err != nil {
-		return false
+	c.mu.Unlock()
+	for _, u := range urls {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u+"/healthz", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := c.cfg.HTTPClient.Do(req)
+		if err != nil {
+			continue
+		}
+		resp.Body.Close() //lint:err health probe, the status code is the only signal
+		if resp.StatusCode == http.StatusOK {
+			return true
+		}
 	}
-	resp.Body.Close() //lint:err health probe, the status code is the only signal
-	return resp.StatusCode == http.StatusOK
+	return false
 }
 
 // retryable reports whether a status is worth another attempt: shedding
@@ -207,8 +317,10 @@ func do[T any](c *Client, ctx context.Context, method, path string, body any) (*
 				return nil, ctx.Err()
 			}
 		}
-		res, err := once[T](c, ctx, method, path, payload, attempt+1)
+		ep := c.pick()
+		res, err := once[T](c, ctx, method, ep.url+path, payload, attempt+1)
 		if err == nil {
+			c.mark(ep, true)
 			return res, nil
 		}
 		lastErr = err
@@ -216,6 +328,10 @@ func do[T any](c *Client, ctx context.Context, method, path string, body any) (*
 		if !errorAs(err, &ae) {
 			return nil, err
 		}
+		// A shed or dead peer: count the failure and rotate, so the
+		// retry — after the same jittered, Retry-After-respecting
+		// backoff — lands on the next endpoint.
+		c.mark(ep, false)
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
@@ -254,13 +370,13 @@ func errorAs(err error, target **retryableError) bool {
 	return ok
 }
 
-// once sends a single HTTP request.
-func once[T any](c *Client, ctx context.Context, method, path string, payload []byte, attempt int) (*Result[T], error) {
+// once sends a single HTTP request to url (an endpoint root plus path).
+func once[T any](c *Client, ctx context.Context, method, url string, payload []byte, attempt int) (*Result[T], error) {
 	var rd io.Reader
 	if payload != nil {
 		rd = bytes.NewReader(payload)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
 		return nil, fmt.Errorf("lppartd client: %w", err)
 	}

@@ -1,0 +1,134 @@
+package client
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lppart/internal/serve"
+)
+
+// fastMulti keeps multi-endpoint tests quick without losing the
+// backoff path.
+func fastMulti(c *Config) {
+	c.MaxRetries = 5
+	c.BaseBackoff = time.Millisecond
+	c.MaxBackoff = 2 * time.Millisecond
+	c.Rand = rand.New(rand.NewSource(1)) //lint:nondet deterministic test jitter
+}
+
+// TestFailoverToHealthyPeer: a 503 from the preferred endpoint retries
+// against the next peer and succeeds.
+func TestFailoverToHealthyPeer(t *testing.T) {
+	var badHits atomic.Int64
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		badHits.Add(1)
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+	}))
+	defer bad.Close()
+	good := httptest.NewServer(serve.New(serve.Config{Workers: 1}).Handler())
+	defer good.Close()
+
+	c := NewMulti([]string{bad.URL, good.URL}, fastMulti)
+	res, err := c.Partition(context.Background(), &serve.PartitionRequest{App: "engine"})
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	if res.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2 (one shed, one failover)", res.Attempts)
+	}
+	if badHits.Load() != 1 {
+		t.Errorf("shedding peer hit %d times, want 1", badHits.Load())
+	}
+}
+
+// TestSidelinesDeadPeer: after failThreshold consecutive failures the
+// dead peer stops receiving requests, and later calls go straight to
+// the healthy peer.
+func TestSidelinesDeadPeer(t *testing.T) {
+	var badHits atomic.Int64
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		badHits.Add(1)
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	good := httptest.NewServer(serve.New(serve.Config{Workers: 1}).Handler())
+	defer good.Close()
+
+	c := NewMulti([]string{bad.URL, good.URL}, fastMulti)
+	for i := 0; i < 6; i++ {
+		if _, err := c.Apps(context.Background()); err != nil {
+			t.Fatalf("Apps %d: %v", i, err)
+		}
+	}
+	// The failover rotates off bad after its first failure each time it
+	// is tried, and after failThreshold consecutive failures it is
+	// sidelined entirely.
+	if n := badHits.Load(); n > failThreshold {
+		t.Errorf("dead peer hit %d times, want <= %d (sidelined)", n, failThreshold)
+	}
+}
+
+// TestAllPeersDown: when every endpoint is sidelined the client keeps
+// probing rather than failing fast, and surfaces the API error once
+// retries are exhausted.
+func TestAllPeersDown(t *testing.T) {
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer down.Close()
+	c := NewMulti([]string{down.URL, down.URL + "/"}, fastMulti)
+	_, err := c.Apps(context.Background())
+	ae, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("error %v, want *APIError", err)
+	}
+	if ae.Status != http.StatusTooManyRequests {
+		t.Errorf("status %d, want 429", ae.Status)
+	}
+}
+
+// TestMultiHealthy: Healthy is true while any endpoint answers.
+func TestMultiHealthy(t *testing.T) {
+	good := httptest.NewServer(serve.New(serve.Config{Workers: 1}).Handler())
+	defer good.Close()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // connection refused
+
+	c := NewMulti([]string{dead.URL, good.URL})
+	if !c.Healthy(context.Background()) {
+		t.Error("Healthy = false with one live endpoint")
+	}
+	c2 := NewMulti([]string{dead.URL})
+	if c2.Healthy(context.Background()) {
+		t.Error("Healthy = true with no live endpoints")
+	}
+}
+
+// TestSingleEndpointUnchanged: the one-endpoint client retries the same
+// server exactly as before multi-endpoint support.
+func TestSingleEndpointUnchanged(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) < 3 {
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"apps":null}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, fastMulti)
+	res, err := c.Apps(context.Background())
+	if err != nil {
+		t.Fatalf("Apps: %v", err)
+	}
+	if res.Attempts != 3 || hits.Load() != 3 {
+		t.Errorf("attempts %d, hits %d, want 3/3", res.Attempts, hits.Load())
+	}
+}

@@ -1,0 +1,569 @@
+// Cluster endpoints: the serving layer of the internal/cluster
+// subsystem. A node in a fleet plays up to three roles at once —
+//
+//   - worker: POST /v1/shard runs one (geometry, root-subset) shard
+//     synchronously under the same admission control as every other
+//     evaluation, resolving the task through a shared prep cache so the
+//     application is measured once per node, not once per shard;
+//   - coordinator: POST /v1/cluster plans the shards, fans them out
+//     over the peers (itself included, short-circuited in-process),
+//     steals stragglers, donates incumbents, and merges the frontiers
+//     deterministically — an async job polled like /v1/explore;
+//   - router: /v1/partition is forwarded to the canonical key's
+//     consistent-hash owner so the LRU + memostore cache tiers shard
+//     cleanly across the fleet; /v1/batch amortizes many partition
+//     calls over one request.
+//
+// Peer health is passive: a transport failure marks the peer down (the
+// router stops picking it, the jobs aggregator skips it), any later
+// success — including a shard completion — marks it back up.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"lppart/internal/cluster"
+	"lppart/internal/dse"
+)
+
+// forwardHeader marks a request already routed once; a node receiving
+// it always computes locally, so a stale or disagreeing ring degrades
+// to one extra hop instead of a proxy loop.
+const forwardHeader = "X-Lppart-Forwarded"
+
+// maxPeerResponseBytes caps a proxied peer response.
+const maxPeerResponseBytes = 64 << 20
+
+// defaultShardsPerGeom is the canonical shard width when a cluster
+// request does not pick one. It is deliberately a fixed number — NOT
+// derived from the peer count — so the resolved request, its key and
+// its response body are identical on a 1-node and a 3-node cluster;
+// several shards per peer is what keeps the plan steal-friendly.
+const defaultShardsPerGeom = 8
+
+// ClusterRequest is POST /v1/cluster: one exploration fanned out over
+// the node's peers. The embedded tuple is the /v1/explore request; the
+// extra knobs tune the coordinator.
+type ClusterRequest struct {
+	ExploreRequest
+	// ShardsPerGeom is how many root-subset shards each geometry is cut
+	// into (0: a fixed default; the merged points are identical at any
+	// value, only the work report varies).
+	ShardsPerGeom int `json:"shards_per_geom,omitempty"`
+	// NoShare disables incumbent donation (the bench baseline).
+	NoShare bool `json:"no_share,omitempty"`
+	// Report includes the coordinator's work accounting in the finished
+	// body. The report is timing-dependent (steals, duplicates and
+	// broadcast arrival all race), so it is opt-in and part of the job
+	// key: reporting and non-reporting requests never share a job, and
+	// the default body stays a pure function of the request.
+	Report bool `json:"report,omitempty"`
+}
+
+// canonCluster is the fully-defaulted cluster request behind the job
+// key: the embedded tuple's canonical hash plus the coordinator knobs.
+type canonCluster struct {
+	Kind          string `json:"kind"` // "cluster/v1"
+	Base          string `json:"base"`
+	ShardsPerGeom int    `json:"shards_per_geom"`
+	NoShare       bool   `json:"no_share"`
+	Report        bool   `json:"report"`
+}
+
+// canonicalize validates the cluster request and returns the resolved
+// inputs, the resolved shards-per-geometry width and the job key.
+func (req *ClusterRequest) canonicalize(maxSourceBytes int) (*exploreInputs, int, string, *apiError) {
+	in, base, aerr := req.ExploreRequest.canonicalize("cluster-base/v1", maxSourceBytes)
+	if aerr != nil {
+		return nil, 0, "", aerr
+	}
+	if req.ShardsPerGeom < 0 {
+		return nil, 0, "", badRequest("shards_per_geom must be >= 0")
+	}
+	spg := req.ShardsPerGeom
+	if spg == 0 {
+		spg = defaultShardsPerGeom
+	}
+	c := canonCluster{
+		Kind:          "cluster/v1",
+		Base:          base,
+		ShardsPerGeom: spg,
+		NoShare:       req.NoShare,
+		Report:        req.Report,
+	}
+	return in, spg, hashCanon(c), nil
+}
+
+// clusterTask lifts the resolved request onto the cluster wire: the
+// fully-explicit tuple every worker node reconstructs the same
+// measurement from.
+func clusterTask(req *ClusterRequest, in *exploreInputs) cluster.Task {
+	task := cluster.Task{
+		App:          req.App,
+		Source:       req.Source,
+		F:            req.F,
+		MaxClusters:  req.MaxClusters,
+		GEQBudget:    req.GEQBudget,
+		ResourceSets: in.sets,
+		MaxHW:        req.MaxHW,
+		Verify:       req.Verify,
+	}
+	for _, g := range in.geoms {
+		task.Geometries = append(task.Geometries, [6]int{
+			g[0].Sets, g[0].Assoc, g[0].LineWords,
+			g[1].Sets, g[1].Assoc, g[1].LineWords,
+		})
+	}
+	return task
+}
+
+// ClusterBody is a finished cluster exploration on the wire. Points,
+// Shards and the key are deterministic — byte-identical at any peer
+// count and any shard timing; the work report appears only when the
+// request opted in.
+type ClusterBody struct {
+	App            string          `json:"app"`
+	Points         []dse.Point     `json:"points"`
+	Shards         int             `json:"shards"`
+	CacheSignature string          `json:"request_key"`
+	Report         *cluster.Report `json:"report,omitempty"`
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	start := time.Now() //lint:nondet latency metric only; never in a response body
+	if !s.cfg.Coordinator {
+		res := errResult(&apiError{Status: http.StatusForbidden, Err: "not a coordinator node"})
+		writeResult(w, res)
+		s.observe("cluster", outcomeOf(res), start)
+		return
+	}
+	var req ClusterRequest
+	if aerr := s.decodeBody(w, r, &req); aerr != nil {
+		writeResult(w, errResult(aerr))
+		s.observe("cluster", "bad_request", start)
+		return
+	}
+	in, spg, key, aerr := req.canonicalize(s.cfg.MaxSourceBytes)
+	if aerr != nil {
+		writeResult(w, errResult(aerr))
+		s.observe("cluster", "bad_request", start)
+		return
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.Timeout)
+	snap, created, err := s.jobs.Create(key, cancel)
+	if err != nil {
+		cancel()
+		res := errResult(&apiError{Status: http.StatusTooManyRequests, Err: "job table full"})
+		writeResult(w, res)
+		s.observe("cluster", "shed_queue", start)
+		return
+	}
+	if !created {
+		cancel()
+		res := &flightResult{status: http.StatusOK, body: jsonBody(jobBody("cluster", snap, true))}
+		writeResult(w, res)
+		s.observe("cluster", "ok", start)
+		return
+	}
+	go s.runCluster(ctx, cancel, snap.ID, &req, in, spg, key)
+	res := &flightResult{status: http.StatusAccepted, body: jsonBody(jobBody("cluster", snap, false))}
+	writeResult(w, res)
+	s.observe("cluster", "ok", start)
+}
+
+// runCluster is the coordinator's job goroutine. It occupies one
+// admission slot for the whole run — the local executor's shards run
+// inside that slot, remote shards only wait on HTTP in it — so a
+// coordinator under load degrades exactly like any other evaluation.
+func (s *Server) runCluster(ctx context.Context, cancel context.CancelFunc, id string,
+	req *ClusterRequest, in *exploreInputs, spg int, key string) {
+	defer cancel()
+	if aerr := s.adm.acquire(ctx); aerr != nil {
+		switch aerr {
+		case errQueueFull:
+			s.jobs.Fail(id, "queue full")
+		case errDraining:
+			s.jobs.Fail(id, "draining")
+		default:
+			s.jobs.Fail(id, "deadline exceeded while queued")
+		}
+		return
+	}
+	defer s.adm.release()
+	if !s.jobs.Start(id) {
+		return // canceled while queued
+	}
+	task := clusterTask(req, in)
+	p, cfg, err := s.preps.Get(ctx, &task, s.cfg.MaxInstrs, s.cfg.MaxSourceBytes)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.jobs.Fail(id, "cluster exploration deadline exceeded")
+			return
+		}
+		s.jobs.Fail(id, err.Error())
+		return
+	}
+	sizes := make([]int, len(p.Geoms))
+	for gi := range p.Geoms {
+		sizes[gi] = p.PoolSize(gi)
+	}
+	local := &cluster.LocalRunner{Prep: p, Cfg: cfg}
+	var runner cluster.Runner = local
+	if len(s.cfg.Peers) > 0 {
+		runner = &healthRunner{s: s, inner: &cluster.HTTPRunner{Self: s.cfg.Self, Local: local}}
+	}
+	opts := cluster.Options{
+		Peers:          s.cfg.Peers,
+		ShardsPerGeom:  spg,
+		DisableSharing: req.NoShare,
+		OnShardDone:    func(done, total int) { s.jobs.Progress(id, done, total) },
+	}
+	pts, rep, err := cluster.Run(ctx, runner, task, sizes, opts)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.jobs.Fail(id, "cluster exploration deadline exceeded")
+			return
+		}
+		s.jobs.Fail(id, err.Error())
+		return
+	}
+	s.recordClusterReport(rep)
+	cb := &ClusterBody{App: p.IR.Name, Points: pts, Shards: rep.Shards, CacheSignature: key}
+	if req.Report {
+		cb.Report = rep
+	}
+	body, merr := json.Marshal(cb)
+	if merr != nil {
+		s.jobs.Fail(id, "cluster body not marshalable: "+merr.Error())
+		return
+	}
+	s.jobs.Finish(id, body)
+}
+
+// recordClusterReport folds one coordinator run into the cluster
+// instruments.
+func (s *Server) recordClusterReport(rep *cluster.Report) {
+	s.steals.Add(int64(rep.Steals))
+	s.duplicates.Add(int64(rep.Duplicates))
+	s.broadcasts.Add(int64(rep.Broadcasts))
+	for _, ps := range rep.PeerShards {
+		if c, ok := s.shardsByPeer[ps.Peer]; ok {
+			c.Add(int64(ps.Shards))
+		}
+	}
+}
+
+func (s *Server) handleClusterGet(w http.ResponseWriter, r *http.Request) {
+	start := time.Now() //lint:nondet latency metric only; never in a response body
+	snap, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		res := errResult(&apiError{Status: http.StatusNotFound, Err: "unknown job"})
+		writeResult(w, res)
+		s.observe("cluster", outcomeOf(res), start)
+		return
+	}
+	res := &flightResult{status: http.StatusOK, body: jsonBody(jobBody("cluster", snap, false))}
+	writeResult(w, res)
+	s.observe("cluster", "ok", start)
+}
+
+func (s *Server) handleClusterDelete(w http.ResponseWriter, r *http.Request) {
+	start := time.Now() //lint:nondet latency metric only; never in a response body
+	snap, ok := s.jobs.Delete(r.PathValue("id"))
+	if !ok {
+		res := errResult(&apiError{Status: http.StatusNotFound, Err: "unknown job"})
+		writeResult(w, res)
+		s.observe("cluster", outcomeOf(res), start)
+		return
+	}
+	res := &flightResult{status: http.StatusOK, body: jsonBody(jobBody("cluster", snap, false))}
+	writeResult(w, res)
+	s.observe("cluster", "ok", start)
+}
+
+// handleShard is the worker half of the cluster: one synchronous shard
+// evaluation. Deliberately uncached — the incumbent snapshot varies per
+// dispatch (same points, different counters), and the coordinator owns
+// retry semantics, so a cache would only mask the work report.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	start := time.Now() //lint:nondet latency metric only; never in a response body
+	var req cluster.ShardRequest
+	if aerr := s.decodeBody(w, r, &req); aerr != nil {
+		writeResult(w, errResult(aerr))
+		s.observe("shard", "bad_request", start)
+		return
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.Timeout)
+	defer cancel()
+	if aerr := s.adm.acquire(ctx); aerr != nil {
+		var res *flightResult
+		switch aerr {
+		case errQueueFull:
+			res = errResult(&apiError{Status: http.StatusTooManyRequests, Err: "queue full"})
+		case errDraining:
+			res = errResult(&apiError{Status: http.StatusServiceUnavailable, Err: "draining"})
+		default:
+			res = errResult(&apiError{Status: http.StatusGatewayTimeout, Err: "deadline exceeded while queued"})
+		}
+		writeResult(w, res)
+		s.observe("shard", outcomeOf(res), start)
+		return
+	}
+	defer s.adm.release()
+	p, cfg, err := s.preps.Get(ctx, &req.Task, s.cfg.MaxInstrs, s.cfg.MaxSourceBytes)
+	if err == nil {
+		var sres *cluster.ShardResult
+		sres, err = cluster.RunShard(ctx, p, cfg, &req)
+		if err == nil {
+			res := &flightResult{status: http.StatusOK, body: jsonBody(sres)}
+			writeResult(w, res)
+			s.observe("shard", "ok", start)
+			return
+		}
+	}
+	var res *flightResult
+	if ctx.Err() != nil {
+		res = errResult(&apiError{Status: http.StatusGatewayTimeout, Err: "shard deadline exceeded"})
+	} else {
+		res = errResult(&apiError{Status: http.StatusUnprocessableEntity, Err: err.Error()})
+	}
+	writeResult(w, res)
+	s.observe("shard", outcomeOf(res), start)
+}
+
+// maxBatchItems caps one /v1/batch request.
+const maxBatchItems = 64
+
+// BatchRequest is POST /v1/batch: many partition evaluations in one
+// call. Items run serially through the same cache → coalesce →
+// admission ladder as /v1/partition, so a batch is exactly as cheap as
+// its cache misses and never holds more than one worker slot.
+type BatchRequest struct {
+	Requests []PartitionRequest `json:"requests"`
+}
+
+// BatchItem is one finished batch entry: the item's HTTP status plus
+// the body /v1/partition would have served for it.
+type BatchItem struct {
+	Status int             `json:"status"`
+	Body   json.RawMessage `json:"body"`
+}
+
+// BatchResponse preserves request order.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now() //lint:nondet latency metric only; never in a response body
+	var req BatchRequest
+	if aerr := s.decodeBody(w, r, &req); aerr != nil {
+		writeResult(w, errResult(aerr))
+		s.observe("batch", "bad_request", start)
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeResult(w, errResult(badRequest("empty batch")))
+		s.observe("batch", "bad_request", start)
+		return
+	}
+	if len(req.Requests) > maxBatchItems {
+		writeResult(w, errResult(badRequest("batch too large")))
+		s.observe("batch", "bad_request", start)
+		return
+	}
+	resp := BatchResponse{Results: make([]BatchItem, 0, len(req.Requests))}
+	for i := range req.Requests {
+		item := &req.Requests[i]
+		prog, sets, key, aerr := item.canonicalize(s.cfg.MaxSourceBytes)
+		if aerr != nil {
+			resp.Results = append(resp.Results, BatchItem{Status: aerr.Status, Body: jsonBody(aerr)})
+			continue
+		}
+		res := s.resultFor(r, key, s.partitionCompute(item, prog, sets, key))
+		resp.Results = append(resp.Results, BatchItem{Status: res.status, Body: res.body})
+	}
+	writeResult(w, &flightResult{status: http.StatusOK, body: jsonBody(&resp)})
+	s.observe("batch", "ok", start)
+}
+
+// JobSummary is one ledger row of GET /v1/jobs.
+type JobSummary struct {
+	// Node is the peer that owns the job ("" on a standalone node and
+	// for this node's own rows).
+	Node  string `json:"node,omitempty"`
+	JobID string `json:"job_id"`
+	Key   string `json:"key"`
+	State string `json:"state"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	Error string `json:"error,omitempty"`
+}
+
+// JobsResponse is the cluster-wide job ledger.
+type JobsResponse struct {
+	Jobs []JobSummary `json:"jobs"`
+}
+
+// handleJobs lists this node's jobs and — on a clustered node, unless
+// the request was itself forwarded — every reachable peer's, so any
+// node answers for the whole fleet's ledger.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	start := time.Now() //lint:nondet latency metric only; never in a response body
+	var resp JobsResponse
+	for _, snap := range s.jobs.All() {
+		resp.Jobs = append(resp.Jobs, JobSummary{
+			JobID: snap.ID, Key: snap.Key, State: snap.State.String(),
+			Done: snap.Done, Total: snap.Total, Error: snap.Error,
+		})
+	}
+	if s.ring != nil && r.Header.Get(forwardHeader) == "" {
+		resp.Jobs = append(resp.Jobs, s.peerJobs(r.Context())...)
+	}
+	writeResult(w, &flightResult{status: http.StatusOK, body: jsonBody(&resp)})
+	s.observe("jobs", "ok", start)
+}
+
+// peerJobs collects the reachable peers' ledgers, sorted by peer URL so
+// the aggregate order is stable.
+func (s *Server) peerJobs(ctx context.Context) []JobSummary {
+	var out []JobSummary
+	peers := append([]string(nil), s.cfg.Peers...)
+	sort.Strings(peers)
+	for _, peer := range peers {
+		if peer == s.cfg.Self || s.peerIsDown(peer) {
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/jobs", nil)
+		if err != nil {
+			continue
+		}
+		req.Header.Set(forwardHeader, s.cfg.Self)
+		hres, err := http.DefaultClient.Do(req)
+		if err != nil {
+			s.markPeer(peer, false)
+			continue
+		}
+		raw, rerr := io.ReadAll(io.LimitReader(hres.Body, maxPeerResponseBytes))
+		hres.Body.Close() //lint:err body already fully read (or rerr captures the failure)
+		if rerr != nil || hres.StatusCode != http.StatusOK {
+			continue
+		}
+		s.markPeer(peer, true)
+		var pr JobsResponse
+		if json.Unmarshal(raw, &pr) != nil {
+			continue
+		}
+		for _, j := range pr.Jobs {
+			j.Node = peer
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// forwardPartition routes one canonicalized /v1/partition request to
+// its consistent-hash owner, reporting whether it wrote the response.
+// Local computation is the fallback for every failure mode — ring
+// empty, owner down, transport error — so routing can only ever cost
+// an extra hop, never an answer.
+func (s *Server) forwardPartition(w http.ResponseWriter, r *http.Request,
+	req *PartitionRequest, key string, start time.Time) bool {
+	if s.ring == nil || r.Header.Get(forwardHeader) != "" {
+		return false
+	}
+	owner := s.ring.Owner(key)
+	if owner == "" || owner == s.cfg.Self || s.peerIsDown(owner) {
+		return false
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return false
+	}
+	preq, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		owner+"/v1/partition", bytes.NewReader(payload))
+	if err != nil {
+		return false
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	preq.Header.Set(forwardHeader, s.cfg.Self)
+	hres, err := http.DefaultClient.Do(preq)
+	if err != nil {
+		s.markPeer(owner, false)
+		return false
+	}
+	defer hres.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(hres.Body, maxPeerResponseBytes))
+	if err != nil {
+		s.markPeer(owner, false)
+		return false
+	}
+	s.markPeer(owner, true)
+	// The owner's answer is authoritative, sheds included: a 429 from
+	// the owner is the cluster's backpressure, not a routing failure.
+	res := &flightResult{status: hres.StatusCode, body: raw,
+		cacheHit: hres.Header.Get("X-Cache") == "hit"}
+	writeResult(w, res)
+	s.observe("partition", outcomeOf(res), start)
+	return true
+}
+
+// healthRunner wraps the HTTP shard runner with passive peer health:
+// remote failures mark the peer down, successes mark it back up (the
+// shard path doubles as the health probe, so a recovered peer rejoins
+// as soon as the coordinator's retry loop touches it).
+type healthRunner struct {
+	s     *Server
+	inner cluster.Runner
+}
+
+func (h *healthRunner) RunShard(ctx context.Context, peer string, req *cluster.ShardRequest) (*cluster.ShardResult, error) {
+	res, err := h.inner.RunShard(ctx, peer, req)
+	if peer != "" && peer != h.s.cfg.Self {
+		h.s.markPeer(peer, err == nil)
+	}
+	return res, err
+}
+
+// markPeer records one passive health observation.
+func (s *Server) markPeer(peer string, up bool) {
+	s.peerMu.Lock()
+	if up {
+		delete(s.peerDown, peer)
+	} else {
+		s.peerDown[peer] = true
+	}
+	s.peerMu.Unlock()
+}
+
+// peerIsDown reports the last known health of a peer.
+func (s *Server) peerIsDown(peer string) bool {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	return s.peerDown[peer]
+}
+
+// countPeers counts configured peers by health state for the
+// lppartd_peers gauge (Self counts as up: a node scraping its own
+// /metrics is evidently alive).
+func (s *Server) countPeers(down bool) int {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	n := 0
+	for _, p := range s.cfg.Peers {
+		if s.peerDown[p] && p != s.cfg.Self {
+			if down {
+				n++
+			}
+		} else if !down {
+			n++
+		}
+	}
+	return n
+}

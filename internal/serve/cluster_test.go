@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// swapHandler lets a test start listeners before the servers that need
+// the full peer URL list exist.
+type swapHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *swapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	if h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// newTestCluster boots n lppartd nodes that know each other's URLs.
+// Node 0 is the coordinator.
+func newTestCluster(t *testing.T, n int) ([]*Server, []string) {
+	t.Helper()
+	swaps := make([]*swapHandler, n)
+	peers := make([]string, n)
+	for i := range swaps {
+		swaps[i] = &swapHandler{}
+		ts := httptest.NewServer(swaps[i])
+		t.Cleanup(ts.Close)
+		peers[i] = ts.URL
+	}
+	servers := make([]*Server, n)
+	for i := range servers {
+		servers[i] = New(Config{
+			Workers: 2, Peers: peers, Self: peers[i], Coordinator: i == 0,
+		})
+		swaps[i].set(servers[i].Handler())
+	}
+	return servers, peers
+}
+
+// clusterReq is a small exploration, fast enough for a full cluster
+// round trip in tests.
+const clusterReq = `{"app":"engine","max_hw":1,"geometries":[{},{"dsets":32}],"report":true}`
+
+// startClusterJob POSTs /v1/cluster and returns the finished body.
+func startClusterJob(t *testing.T, base, req string) *ClusterBody {
+	t.Helper()
+	st, b, _ := post(t, base+"/v1/cluster", req)
+	if st != http.StatusAccepted && st != http.StatusOK {
+		t.Fatalf("POST /v1/cluster: status %d: %s", st, b)
+	}
+	jb := decodeJob(t, b)
+	jb = pollJobAt(t, base+"/v1/cluster/", jb.JobID)
+	if jb.State != "done" {
+		t.Fatalf("cluster job failed: %s", jb.Error)
+	}
+	var cb ClusterBody
+	if err := json.Unmarshal(jb.Cluster, &cb); err != nil {
+		t.Fatalf("bad cluster body %s: %v", jb.Cluster, err)
+	}
+	return &cb
+}
+
+// TestClusterJobMatchesStandalone is the subsystem's serving contract:
+// a 3-node cluster's merged points are byte-identical to the standalone
+// coordinator-only run, and the shard plan is identical too (the shard
+// width must not depend on the peer count).
+func TestClusterJobMatchesStandalone(t *testing.T) {
+	_, solo := newTestServer(t, Config{Workers: 2})
+	soloBody := startClusterJob(t, solo.URL, clusterReq)
+	if len(soloBody.Points) == 0 {
+		t.Fatal("standalone cluster run produced no points")
+	}
+
+	servers, peers := newTestCluster(t, 3)
+	fleetBody := startClusterJob(t, peers[0], clusterReq)
+
+	soloPts, _ := json.Marshal(soloBody.Points)
+	fleetPts, _ := json.Marshal(fleetBody.Points)
+	if !bytes.Equal(soloPts, fleetPts) {
+		t.Fatalf("3-node points differ from standalone:\n%s\nvs\n%s", fleetPts, soloPts)
+	}
+	if soloBody.Shards != fleetBody.Shards {
+		t.Errorf("shard plan depends on peer count: %d vs %d", soloBody.Shards, fleetBody.Shards)
+	}
+	if fleetBody.Report == nil {
+		t.Fatal("report=true returned no report")
+	}
+	total := 0
+	for _, ps := range fleetBody.Report.PeerShards {
+		total += ps.Shards
+	}
+	if total != fleetBody.Shards {
+		t.Errorf("accepted %d of %d shards", total, fleetBody.Shards)
+	}
+
+	// The non-coordinator nodes refuse to coordinate but served shards.
+	st, b, _ := post(t, peers[1]+"/v1/cluster", clusterReq)
+	if st != http.StatusForbidden {
+		t.Errorf("worker node accepted /v1/cluster: status %d: %s", st, b)
+	}
+
+	// The coordinator's ledger is visible from a worker node, annotated
+	// with the owning peer.
+	st, b = get(t, peers[1]+"/v1/jobs")
+	if st != 200 {
+		t.Fatalf("GET /v1/jobs: status %d", st)
+	}
+	var jr JobsResponse
+	if err := json.Unmarshal(b, &jr); err != nil {
+		t.Fatalf("bad jobs body %s: %v", b, err)
+	}
+	foundRemote := false
+	for _, j := range jr.Jobs {
+		if j.Node == peers[0] && j.State == "done" {
+			foundRemote = true
+		}
+	}
+	if !foundRemote {
+		t.Errorf("worker's /v1/jobs does not show the coordinator's job: %s", b)
+	}
+
+	// Cluster metrics on the coordinator: peers up, shards attributed,
+	// broadcasts counted (sharing is on by default).
+	var mb strings.Builder
+	servers[0].Metrics().WritePrometheus(&mb)
+	out := mb.String()
+	for _, want := range []string{
+		`lppartd_peers{state="up"} 3`,
+		`lppartd_peers{state="down"} 0`,
+		`lppartd_cluster_steals_total`,
+		`lppartd_cluster_duplicates_total`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if strings.Contains(out, "lppartd_cluster_bound_broadcasts_total 0\n") {
+		t.Error("sharing run recorded no bound broadcasts")
+	}
+	shardSum := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "lppartd_cluster_shards_total{") {
+			var n int
+			if _, err := fmtSscanf(line, &n); err == nil {
+				shardSum += n
+			}
+		}
+	}
+	if shardSum != fleetBody.Shards {
+		t.Errorf("per-peer shard counters sum to %d, want %d\n%s", shardSum, fleetBody.Shards, out)
+	}
+}
+
+// fmtSscanf pulls the trailing integer off a metric line.
+func fmtSscanf(line string, n *int) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		return 0, errNoValue
+	}
+	v := 0
+	for _, c := range line[i+1:] {
+		if c < '0' || c > '9' {
+			return 0, errNoValue
+		}
+		v = v*10 + int(c-'0')
+	}
+	*n = v
+	return 1, nil
+}
+
+var errNoValue = &apiError{Status: 0, Err: "no value"}
+
+// TestShardEndpoint exercises the worker role directly: a shard request
+// over the wire returns the same points as the in-process run.
+func TestShardEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := `{"task":{"app":"engine","max_hw":1,"geometries":[[64,1,4,64,1,4]]},` +
+		`"shard":{"index":0,"geom":0,"roots":[0]}}`
+	st, b, _ := post(t, ts.URL+"/v1/shard", req)
+	if st != 200 {
+		t.Fatalf("POST /v1/shard: status %d: %s", st, b)
+	}
+	var res struct {
+		Index   int             `json:"index"`
+		Geom    int             `json:"geom"`
+		Points  json.RawMessage `json:"points"`
+		Configs int64           `json:"configs"`
+	}
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatalf("bad shard body %s: %v", b, err)
+	}
+	if res.Index != 0 || res.Geom != 0 || res.Configs == 0 {
+		t.Errorf("shard result %s", b)
+	}
+	// Same shard again: byte-identical (uncached recompute, same floats).
+	st2, b2, _ := post(t, ts.URL+"/v1/shard", req)
+	if st2 != 200 || !bytes.Equal(b, b2) {
+		t.Errorf("shard recompute differs: %s vs %s", b, b2)
+	}
+
+	st, b, _ = post(t, ts.URL+"/v1/shard", `{"task":{"app":"nope"},"shard":{"index":0,"geom":0}}`)
+	if st != http.StatusUnprocessableEntity {
+		t.Errorf("unknown app: status %d: %s", st, b)
+	}
+}
+
+// TestBatchEndpoint: one call, many partitions, per-item statuses, and
+// the items land in the same cache as /v1/partition.
+func TestBatchEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	st, b, _ := post(t, ts.URL+"/v1/batch",
+		`{"requests":[{"app":"engine"},{"app":"nope"},{"app":"engine"}]}`)
+	if st != 200 {
+		t.Fatalf("POST /v1/batch: status %d: %s", st, b)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(b, &resp); err != nil {
+		t.Fatalf("bad batch body %s: %v", b, err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+	if resp.Results[0].Status != 200 || resp.Results[2].Status != 200 {
+		t.Errorf("good items: status %d, %d", resp.Results[0].Status, resp.Results[2].Status)
+	}
+	if resp.Results[1].Status != http.StatusBadRequest {
+		t.Errorf("bad item: status %d", resp.Results[1].Status)
+	}
+	if !bytes.Equal(resp.Results[0].Body, resp.Results[2].Body) {
+		t.Error("identical batch items returned different bodies")
+	}
+
+	// The batch warmed the shared cache: a direct /v1/partition hit.
+	st, _, cacheHdr := post(t, ts.URL+"/v1/partition", `{"app":"engine"}`)
+	if st != 200 || cacheHdr != "hit" {
+		t.Errorf("partition after batch: status %d, X-Cache %q, want 200/hit", st, cacheHdr)
+	}
+
+	if st, b, _ := post(t, ts.URL+"/v1/batch", `{"requests":[]}`); st != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d: %s", st, b)
+	}
+}
+
+// TestPartitionRouting: in a 2-node cluster, both nodes agree on the
+// key's owner, the owner computes once, and every later request — to
+// either node — is a cache hit served from the owner's tiers.
+func TestPartitionRouting(t *testing.T) {
+	_, peers := newTestCluster(t, 2)
+	req := `{"app":"engine"}`
+
+	st1, b1, _ := post(t, peers[0]+"/v1/partition", req)
+	st2, b2, c2 := post(t, peers[1]+"/v1/partition", req)
+	if st1 != 200 || st2 != 200 {
+		t.Fatalf("status %d/%d: %s", st1, st2, b1)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("routed responses differ between nodes")
+	}
+	if c2 != "hit" {
+		t.Errorf("second request (other node) X-Cache %q, want hit (shared owner cache)", c2)
+	}
+}

@@ -196,6 +196,9 @@ type JobBody struct {
 	// Exact is a finished exact solve (an ExactBody), present once an
 	// exact job's State is "done".
 	Exact json.RawMessage `json:"exact,omitempty"`
+	// Cluster is a finished cluster exploration (a ClusterBody), present
+	// once a cluster job's State is "done".
+	Cluster json.RawMessage `json:"cluster,omitempty"`
 }
 
 // jobBody renders one snapshot for the named job endpoint ("explore"
@@ -210,9 +213,12 @@ func jobBody(endpoint string, snap jobs.Snapshot, existing bool) *JobBody {
 		Error:    snap.Error,
 		Existing: existing,
 	}
-	if endpoint == "exact" {
+	switch endpoint {
+	case "exact":
 		b.Exact = snap.Result
-	} else {
+	case "cluster":
+		b.Cluster = snap.Result
+	default:
 		b.Frontier = snap.Result
 	}
 	return b

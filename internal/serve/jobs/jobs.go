@@ -250,6 +250,23 @@ func (s *Store) setStateLocked(j *job, next State) {
 	s.count[next]++
 }
 
+// All returns every job's snapshot in creation order — the ledger view
+// behind GET /v1/jobs. Result bodies are omitted (they can be large;
+// pollers fetch them by ID).
+func (s *Store) All() []Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Snapshot, 0, len(s.jobs))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			snap := j.snap
+			snap.Result = nil
+			out = append(out, snap)
+		}
+	}
+	return out
+}
+
 // Len returns the table occupancy.
 func (s *Store) Len() int {
 	s.mu.Lock()

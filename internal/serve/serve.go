@@ -30,12 +30,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"lppart/internal/apps"
 	"lppart/internal/behav"
 	"lppart/internal/cache"
 	"lppart/internal/cdfg"
+	"lppart/internal/cluster"
 	"lppart/internal/memostore"
 	"lppart/internal/serve/jobs"
 	"lppart/internal/serve/metrics"
@@ -66,6 +68,21 @@ type Config struct {
 	// holds an unfinished job, new POST /v1/explore requests are shed
 	// with 429 (default 64).
 	MaxJobs int
+	// Self is this node's own base URL as it appears in Peers
+	// ("http://127.0.0.1:8095"). Shards and forwarded requests that the
+	// consistent-hash ring assigns to Self are computed locally instead
+	// of proxied back to this node's own listener.
+	Self string
+	// Peers are the cluster's node base URLs, including Self. Empty
+	// means standalone: no request routing, and cluster explorations
+	// run coordinator-only with a single local executor.
+	Peers []string
+	// Coordinator enables POST /v1/cluster on this node. Standalone
+	// nodes are always coordinators (of their one-node cluster); in a
+	// fleet, pointing every client at one coordinator keeps the job
+	// ledger and the prep cache hot in one place, so worker-only nodes
+	// answer 403 on /v1/cluster while still serving /v1/shard.
+	Coordinator bool
 	// Store, when non-nil, persistently backs the result cache:
 	// successful (200) bodies are written through to the
 	// content-addressed store and replayed verbatim on a hit, so a
@@ -98,6 +115,9 @@ func (c *Config) defaults() {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 64
 	}
+	if len(c.Peers) == 0 {
+		c.Coordinator = true
+	}
 }
 
 // maxBodyBytes caps request bodies; a request is at most a source plus
@@ -114,6 +134,15 @@ type Server struct {
 	jobs    *jobs.Store
 	reg     *metrics.Registry
 
+	// Cluster state: the consistent-hash ring over cfg.Peers (nil when
+	// standalone), the shared prep cache behind /v1/shard and
+	// /v1/cluster, and the passively-tracked peer health.
+	ring  *cluster.Ring
+	preps *cluster.PrepCache
+
+	peerMu   sync.Mutex
+	peerDown map[string]bool
+
 	// baseCtx parents every computation; abort cancels it.
 	baseCtx context.Context
 	abort   context.CancelFunc
@@ -124,11 +153,22 @@ type Server struct {
 	cacheHit  *metrics.Counter
 	cacheMiss *metrics.Counter
 	cacheEvic *metrics.Counter
+
+	// Cluster instruments (satellite of the distributed-exploration
+	// subsystem): accepted shard results by executing peer, plus the
+	// coordinator's steal / duplicate / bound-broadcast tallies.
+	shardsByPeer map[string]*metrics.Counter
+	steals       *metrics.Counter
+	duplicates   *metrics.Counter
+	broadcasts   *metrics.Counter
 }
 
 // endpoints and outcomes instrumented up front, so the /metrics
 // exposition is complete (all-zero) from the first scrape.
-var endpointNames = []string{"partition", "sweep", "explore", "exact", "apps", "version"}
+var endpointNames = []string{
+	"partition", "sweep", "explore", "exact", "apps", "version",
+	"shard", "batch", "cluster", "jobs",
+}
 
 var outcomeNames = []string{
 	"ok", "cache_hit", "shed_queue", "shed_drain", "deadline",
@@ -151,6 +191,11 @@ func New(cfg Config) *Server {
 		abort:    cancel,
 		latency:  make(map[string]*metrics.Histogram),
 		outcomes: make(map[[2]string]*metrics.Counter),
+		preps:    cluster.NewPrepCache(0),
+		peerDown: make(map[string]bool),
+	}
+	if len(cfg.Peers) > 0 {
+		s.ring = cluster.NewRing(cfg.Peers, 0)
 	}
 	for _, ep := range endpointNames {
 		s.latency[ep] = s.reg.Histogram("lppartd_request_seconds",
@@ -181,6 +226,29 @@ func New(cfg Config) *Server {
 			metrics.Labels("state", st.String()),
 			func() float64 { return float64(s.jobs.Count(st)) })
 	}
+	// Cluster instruments are registered up front (all-zero) even when
+	// standalone, so the exposition's shape does not depend on flags;
+	// per-peer shard counters cover the configured peers, with "local"
+	// naming the standalone coordinator's single anonymous executor.
+	s.reg.GaugeFunc("lppartd_peers", "cluster peers by health state",
+		metrics.Labels("state", "up"), func() float64 { return float64(s.countPeers(false)) })
+	s.reg.GaugeFunc("lppartd_peers", "cluster peers by health state",
+		metrics.Labels("state", "down"), func() float64 { return float64(s.countPeers(true)) })
+	s.shardsByPeer = make(map[string]*metrics.Counter)
+	for _, p := range cfg.Peers {
+		s.shardsByPeer[p] = s.reg.Counter("lppartd_cluster_shards_total",
+			"accepted shard results by executing peer", metrics.Labels("peer", p))
+	}
+	if len(cfg.Peers) == 0 {
+		s.shardsByPeer[""] = s.reg.Counter("lppartd_cluster_shards_total",
+			"accepted shard results by executing peer", metrics.Labels("peer", "local"))
+	}
+	s.steals = s.reg.Counter("lppartd_cluster_steals_total",
+		"shards taken from another peer's queue", "")
+	s.duplicates = s.reg.Counter("lppartd_cluster_duplicates_total",
+		"straggler re-runs whose result lost the race", "")
+	s.broadcasts = s.reg.Counter("lppartd_cluster_bound_broadcasts_total",
+		"shard dispatches carrying a non-empty incumbent set", "")
 
 	s.mux.HandleFunc("POST /v1/partition", s.handlePartition)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
@@ -190,6 +258,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/exact", s.handleExact)
 	s.mux.HandleFunc("GET /v1/exact/{id}", s.handleExactGet)
 	s.mux.HandleFunc("DELETE /v1/exact/{id}", s.handleExactDelete)
+	s.mux.HandleFunc("POST /v1/shard", s.handleShard)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/cluster", s.handleCluster)
+	s.mux.HandleFunc("GET /v1/cluster/{id}", s.handleClusterGet)
+	s.mux.HandleFunc("DELETE /v1/cluster/{id}", s.handleClusterDelete)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/apps", s.handleApps)
 	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -300,12 +374,19 @@ func outcomeOf(res *flightResult) string {
 // the configured timeout.
 func (s *Server) serveKey(w http.ResponseWriter, r *http.Request, endpoint, key string,
 	start time.Time, compute func(ctx context.Context) *flightResult) {
+	res := s.resultFor(r, key, compute)
+	writeResult(w, res)
+	s.observe(endpoint, outcomeOf(res), start)
+}
+
+// resultFor is serveKey's ladder without the response writing, so the
+// batch endpoint can run many keys through the same cache, coalescing
+// and admission machinery and assemble the bodies itself.
+func (s *Server) resultFor(r *http.Request, key string,
+	compute func(ctx context.Context) *flightResult) *flightResult {
 	if cb, ok := s.cache.get(key); ok {
 		s.cacheHit.Inc()
-		res := &flightResult{status: cb.status, body: cb.body, cacheHit: true}
-		writeResult(w, res)
-		s.observe(endpoint, "cache_hit", start)
-		return
+		return &flightResult{status: cb.status, body: cb.body, cacheHit: true}
 	}
 	// The persistent store is the second cache tier: a hit replays the
 	// stored bytes verbatim (and warms the LRU); a read error degrades to
@@ -314,10 +395,7 @@ func (s *Server) serveKey(w http.ResponseWriter, r *http.Request, endpoint, key 
 		if body, ok, err := s.cfg.Store.Get(storeKey(key)); err == nil && ok {
 			s.cacheHit.Inc()
 			s.cacheEvic.Add(int64(s.cache.add(key, &cachedBody{status: http.StatusOK, body: body})))
-			res := &flightResult{status: http.StatusOK, body: body, cacheHit: true}
-			writeResult(w, res)
-			s.observe(endpoint, "cache_hit", start)
-			return
+			return &flightResult{status: http.StatusOK, body: body, cacheHit: true}
 		}
 	}
 	s.cacheMiss.Inc()
@@ -356,8 +434,7 @@ func (s *Server) serveKey(w http.ResponseWriter, r *http.Request, endpoint, key 
 	if err != nil {
 		res = errResult(&apiError{Status: http.StatusGatewayTimeout, Err: "request deadline exceeded"})
 	}
-	writeResult(w, res)
-	s.observe(endpoint, outcomeOf(res), start)
+	return res
 }
 
 // decodeBody decodes a JSON request body with a hard size cap.
@@ -385,7 +462,20 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		s.observe("partition", "bad_request", start)
 		return
 	}
-	s.serveKey(w, r, "partition", key, start, func(ctx context.Context) *flightResult {
+	// In a cluster, the canonical key's ring owner computes (and caches)
+	// the result; everyone else proxies, so the LRU + memostore tiers
+	// shard cleanly instead of duplicating entries on every node.
+	if s.forwardPartition(w, r, &req, key, start) {
+		return
+	}
+	s.serveKey(w, r, "partition", key, start, s.partitionCompute(&req, prog, sets, key))
+}
+
+// partitionCompute is the /v1/partition evaluation as a flight compute
+// function, shared by the single and batch endpoints.
+func (s *Server) partitionCompute(req *PartitionRequest, prog *behav.Program,
+	sets []tech.ResourceSet, key string) func(ctx context.Context) *flightResult {
+	return func(ctx context.Context) *flightResult {
 		cfg := system.Config{MaxInstrs: s.cfg.MaxInstrs}
 		cfg.Part.F = req.F
 		cfg.Part.MaxClusters = req.MaxClusters
@@ -402,7 +492,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		}
 		return &flightResult{status: http.StatusOK,
 			body: jsonBody(buildPartitionResponse(ev, req.Verify, key))}
-	})
+	}
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
